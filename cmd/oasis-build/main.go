@@ -1,0 +1,104 @@
+// Command oasis-build constructs the on-disk OASIS suffix-tree index for a
+// sequence database.
+//
+// The database can come from a FASTA file or be generated synthetically
+// (the SWISS-PROT / Drosophila stand-in workloads described in DESIGN.md):
+//
+//	oasis-build -in swissprot.fasta -alphabet protein -out swissprot.oasis
+//	oasis-build -synthetic 2000000 -alphabet protein -out synthetic.oasis
+//	oasis-build -synthetic 5000000 -alphabet dna -partitioned -out dna.oasis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/seq"
+	"repro/internal/workload"
+	"repro/oasis"
+)
+
+func main() {
+	var (
+		inPath      = flag.String("in", "", "input FASTA file (mutually exclusive with -synthetic)")
+		synthetic   = flag.Int64("synthetic", 0, "generate a synthetic database with ~this many residues")
+		outPath     = flag.String("out", "database.oasis", "output index path")
+		alphabet    = flag.String("alphabet", "protein", "sequence alphabet: protein or dna")
+		blockSize   = flag.Int("block", 2048, "index block size in bytes")
+		partitioned = flag.Bool("partitioned", false, "use the partitioned (Hunt-style) construction")
+		prefixLen   = flag.Int("prefix", 1, "partition prefix length (with -partitioned)")
+		seed        = flag.Int64("seed", 1309, "seed for synthetic generation")
+		fastaOut    = flag.String("fasta-out", "", "also write the (synthetic) database as FASTA to this path")
+	)
+	flag.Parse()
+
+	alpha, err := alphabetByName(*alphabet)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := loadDatabase(*inPath, *synthetic, alpha, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st := db.ComputeStats()
+	fmt.Printf("database: %d sequences, %d residues (lengths %d-%d, mean %.1f)\n",
+		st.NumSequences, st.TotalResidues, st.MinLength, st.MaxLength, st.MeanLength)
+
+	if *fastaOut != "" {
+		if err := seq.WriteFASTAFile(*fastaOut, db, 60); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote database FASTA to %s\n", *fastaOut)
+	}
+
+	buildStats, err := oasis.BuildDiskIndex(*outPath, db, oasis.IndexBuildOptions{
+		BlockSize:   *blockSize,
+		Partitioned: *partitioned,
+		PrefixLen:   *prefixLen,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index: %s\n", *outPath)
+	fmt.Printf("  internal nodes: %d\n", buildStats.NumInternal)
+	fmt.Printf("  leaves:         %d\n", buildStats.NumLeaves)
+	fmt.Printf("  file size:      %d bytes (%.2f bytes per symbol)\n", buildStats.FileBytes, buildStats.BytesPerSymbol)
+}
+
+func alphabetByName(name string) (*oasis.Alphabet, error) {
+	switch name {
+	case "protein":
+		return oasis.Protein, nil
+	case "dna":
+		return oasis.DNA, nil
+	default:
+		return nil, fmt.Errorf("unknown alphabet %q (want protein or dna)", name)
+	}
+}
+
+func loadDatabase(inPath string, synthetic int64, alpha *oasis.Alphabet, seed int64) (*oasis.Database, error) {
+	switch {
+	case inPath != "" && synthetic > 0:
+		return nil, fmt.Errorf("-in and -synthetic are mutually exclusive")
+	case inPath != "":
+		return oasis.LoadFASTA(inPath, alpha)
+	case synthetic > 0:
+		if alpha == oasis.DNA {
+			cfg := workload.DefaultDNAConfig(synthetic)
+			cfg.Seed = seed
+			return workload.DNADatabase(cfg)
+		}
+		cfg := workload.DefaultProteinConfig(synthetic)
+		cfg.Seed = seed
+		db, _, err := workload.ProteinDatabase(cfg)
+		return db, err
+	default:
+		return nil, fmt.Errorf("either -in or -synthetic is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oasis-build:", err)
+	os.Exit(1)
+}

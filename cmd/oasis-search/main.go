@@ -1,0 +1,223 @@
+// Command oasis-search runs local-alignment searches against an OASIS disk
+// index (or, for the baselines, against a FASTA database).
+//
+// Examples:
+//
+//	# OASIS search of a peptide against a prebuilt index, top 10 results
+//	oasis-search -index swissprot.oasis -query DKDGDGCITTKEL -evalue 20000 -top 10
+//
+//	# Exact Smith-Waterman baseline over a FASTA database
+//	oasis-search -db swissprot.fasta -algo sw -query DKDGDGCITTKEL -minscore 45
+//
+//	# Heuristic BLAST-style baseline
+//	oasis-search -db swissprot.fasta -algo blast -queryfile peptides.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/seq"
+	"repro/oasis"
+)
+
+type config struct {
+	indexPath string
+	dbPath    string
+	algo      string
+	query     string
+	queryFile string
+	alphabet  string
+	matrix    string
+	gap       int
+	eValue    float64
+	minScore  int
+	top       int
+	poolMB    int64
+	verbose   bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.indexPath, "index", "", "OASIS index file (for -algo oasis)")
+	flag.StringVar(&cfg.dbPath, "db", "", "FASTA database (required for -algo sw/blast)")
+	flag.StringVar(&cfg.algo, "algo", "oasis", "search algorithm: oasis, sw or blast")
+	flag.StringVar(&cfg.query, "query", "", "query residues on the command line")
+	flag.StringVar(&cfg.queryFile, "queryfile", "", "FASTA file of queries")
+	flag.StringVar(&cfg.alphabet, "alphabet", "protein", "alphabet: protein or dna")
+	flag.StringVar(&cfg.matrix, "matrix", "PAM30", "substitution matrix (PAM30, BLOSUM62, PAM250, UNIT, BLASTN)")
+	flag.IntVar(&cfg.gap, "gap", -10, "linear gap penalty (negative)")
+	flag.Float64Var(&cfg.eValue, "evalue", 20000, "E-value threshold (paper Equation 2)")
+	flag.IntVar(&cfg.minScore, "minscore", 0, "explicit minimum score (overrides -evalue)")
+	flag.IntVar(&cfg.top, "top", 0, "report only the top-k sequences (0 = all)")
+	flag.Int64Var(&cfg.poolMB, "pool", 256, "buffer pool size in MB (for -algo oasis)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print full alignments")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "oasis-search:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	alpha := oasis.Protein
+	if cfg.alphabet == "dna" {
+		alpha = oasis.DNA
+	} else if cfg.alphabet != "protein" {
+		return fmt.Errorf("unknown alphabet %q", cfg.alphabet)
+	}
+	matrix := oasis.MatrixByName(cfg.matrix)
+	if matrix == nil {
+		return fmt.Errorf("unknown matrix %q", cfg.matrix)
+	}
+	scheme, err := oasis.NewScheme(matrix, cfg.gap)
+	if err != nil {
+		return err
+	}
+	queries, err := loadQueries(cfg, alpha)
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries: use -query or -queryfile")
+	}
+	switch cfg.algo {
+	case "oasis":
+		return runOASIS(cfg, scheme, queries)
+	case "sw":
+		return runSW(cfg, alpha, scheme, queries)
+	case "blast":
+		return runBLAST(cfg, alpha, scheme, queries)
+	default:
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
+	}
+}
+
+func loadQueries(cfg config, alpha *oasis.Alphabet) ([]oasis.Sequence, error) {
+	var out []oasis.Sequence
+	if cfg.query != "" {
+		s, err := seq.NewSequence(alpha, "cmdline", "", cfg.query)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if cfg.queryFile != "" {
+		db, err := oasis.LoadFASTA(cfg.queryFile, alpha)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, db.Sequences()...)
+	}
+	return out, nil
+}
+
+func runOASIS(cfg config, scheme oasis.Scheme, queries []oasis.Sequence) error {
+	if cfg.indexPath == "" {
+		return fmt.Errorf("-index is required for -algo oasis")
+	}
+	idx, err := oasis.OpenDiskIndex(cfg.indexPath, cfg.poolMB<<20)
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	dbLen := idx.Catalog().TotalResidues()
+	for _, q := range queries {
+		minScore := cfg.minScore
+		var ka *oasis.KarlinAltschul
+		if minScore <= 0 {
+			stats, err := oasis.EValueStatistics(scheme.Matrix)
+			if err != nil {
+				return err
+			}
+			ka = &stats
+			minScore = stats.MinScore(cfg.eValue, q.Len(), dbLen)
+		}
+		var st oasis.SearchStats
+		opts := oasis.SearchOptions{Scheme: scheme, MinScore: minScore, MaxResults: cfg.top, KA: ka, Stats: &st}
+		fmt.Printf("# query %s (%d residues), minScore %d\n", q.ID, q.Len(), minScore)
+		start := time.Now()
+		n := 0
+		err := oasis.Search(idx, q.Residues, opts, func(h oasis.Hit) bool {
+			n++
+			fmt.Printf("%4d  %-24s score=%-6d E=%-12.3g qEnd=%-4d tEnd=%-6d t=%s\n",
+				h.Rank, h.SeqID, h.Score, h.EValue, h.QueryEnd, h.TargetEnd, time.Since(start).Round(time.Microsecond))
+			if cfg.verbose {
+				if a, err := oasis.RecoverAlignment(idx, q.Residues, scheme, h); err == nil {
+					res, _ := idx.Catalog().Residues(h.SeqIndex)
+					fmt.Print(a.Format(idx.Catalog().Alphabet(), q.Residues, res))
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d sequences in %s; %d columns expanded, %d nodes expanded\n\n",
+			n, time.Since(start).Round(time.Microsecond), st.ColumnsExpanded, st.NodesExpanded)
+	}
+	return nil
+}
+
+func runSW(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries []oasis.Sequence) error {
+	if cfg.dbPath == "" {
+		return fmt.Errorf("-db is required for -algo sw")
+	}
+	db, err := oasis.LoadFASTA(cfg.dbPath, alpha)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		minScore := cfg.minScore
+		if minScore <= 0 {
+			minScore, err = oasis.MinScoreForEValue(scheme.Matrix, cfg.eValue, q.Len(), db.TotalResidues())
+			if err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		hits, err := oasis.SmithWaterman(db, q.Residues, scheme, minScore)
+		if err != nil {
+			return err
+		}
+		if cfg.top > 0 && len(hits) > cfg.top {
+			hits = hits[:cfg.top]
+		}
+		fmt.Printf("# query %s: %d sequences (S-W, %s)\n", q.ID, len(hits), time.Since(start).Round(time.Millisecond))
+		for i, h := range hits {
+			fmt.Printf("%4d  %-24s score=%d\n", i+1, h.SeqID, h.Score)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runBLAST(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries []oasis.Sequence) error {
+	if cfg.dbPath == "" {
+		return fmt.Errorf("-db is required for -algo blast")
+	}
+	db, err := oasis.LoadFASTA(cfg.dbPath, alpha)
+	if err != nil {
+		return err
+	}
+	searcher, err := oasis.NewBLAST(db, scheme, oasis.BLASTOptions{TwoHit: true, EValue: cfg.eValue, MaxHits: cfg.top})
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		start := time.Now()
+		hits, err := searcher.Search(q.Residues, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# query %s: %d sequences (BLAST-style heuristic, %s)\n", q.ID, len(hits), time.Since(start).Round(time.Millisecond))
+		for i, h := range hits {
+			fmt.Printf("%4d  %-24s score=%-6d E=%.3g\n", i+1, h.SeqID, h.Score, h.EValue)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+// Package repro is the root of the OASIS reproduction (Meek, Patel &
+// Kasetty, VLDB 2003).  The public API lives in the oasis subpackage; the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.  See README.md and DESIGN.md for the layout.
+package repro

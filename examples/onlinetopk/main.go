@@ -1,0 +1,106 @@
+// Online top-k: demonstrates the paper's online property (Figure 9).  OASIS
+// returns results in decreasing score order, so a client that only needs the
+// best few matches can stop the search as soon as it has them — long before
+// the full search would finish — and the first results arrive within a small
+// fraction of the total query time.
+//
+//	go run ./examples/onlinetopk [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/workload"
+	"repro/oasis"
+)
+
+func main() {
+	k := flag.Int("k", 10, "number of top results to fetch in the online run")
+	residues := flag.Int64("residues", 200_000, "approximate database size in residues")
+	flag.Parse()
+
+	cfg := workload.DefaultProteinConfig(*residues)
+	db, motifs, err := workload.ProteinDatabase(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query with a 13-residue peptide taken from a planted motif (the paper
+	// uses the calcium-binding motif DKDGDGCITTKEL for this experiment).
+	motif := motifs[0].Residues
+	if len(motif) > 13 {
+		motif = motif[:13]
+	}
+	query := motif
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("PAM30"), -10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := oasis.NewSearchOptions(scheme, db, query, oasis.WithEValue(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d sequences (%d residues); query length %d; minScore %d\n\n",
+		db.NumSequences(), db.TotalResidues(), len(query), opts.MinScore)
+
+	// Full (offline) run: collect everything, remember when each result
+	// arrived.
+	type arrival struct {
+		rank    int
+		score   int
+		elapsed time.Duration
+	}
+	var arrivals []arrival
+	start := time.Now()
+	err = oasis.Search(idx, query, opts, func(h oasis.Hit) bool {
+		arrivals = append(arrivals, arrival{rank: h.Rank, score: h.Score, elapsed: time.Since(start)})
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullTime := time.Since(start)
+	if len(arrivals) == 0 {
+		log.Fatal("no results — increase -residues")
+	}
+
+	fmt.Printf("full search: %d results in %s\n", len(arrivals), fullTime.Round(time.Microsecond))
+	fmt.Println("arrival times of selected results (paper Figure 9):")
+	for _, i := range []int{0, 9, 39, 99, len(arrivals) - 1} {
+		if i < len(arrivals) && i >= 0 {
+			a := arrivals[i]
+			fmt.Printf("  result #%-5d score=%-5d arrived at %-12s (%.1f%% of total time)\n",
+				a.rank, a.score, a.elapsed.Round(time.Microsecond),
+				100*float64(a.elapsed)/float64(fullTime))
+		}
+	}
+
+	// Online top-k run: stop as soon as the k best sequences are in hand.
+	optsTopK := opts
+	optsTopK.MaxResults = *k
+	var stats oasis.SearchStats
+	optsTopK.Stats = &stats
+	start = time.Now()
+	top, err := oasis.SearchAll(idx, query, optsTopK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topTime := time.Since(start)
+
+	fmt.Printf("\nonline top-%d: %d results in %s (%.1f%% of the full search time)\n",
+		*k, len(top), topTime.Round(time.Microsecond), 100*float64(topTime)/float64(fullTime))
+	for _, h := range top {
+		fmt.Printf("  #%-3d %-14s score=%d\n", h.Rank, h.SeqID, h.Score)
+	}
+	fmt.Printf("work done: %d columns expanded, %d suffix-tree nodes expanded\n",
+		stats.ColumnsExpanded, stats.NodesExpanded)
+	fmt.Println("\nBecause results are emitted in decreasing score order, the top-k prefix of the")
+	fmt.Println("online stream is exactly the k best sequences — no post-hoc sorting or rescanning.")
+}

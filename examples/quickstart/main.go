@@ -1,0 +1,74 @@
+// Quickstart: build an in-memory OASIS index over a handful of protein
+// sequences and run an accurate local-alignment search, printing results as
+// they stream in (highest score first).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/oasis"
+)
+
+func main() {
+	// A tiny hand-written protein "database".  In real use you would load a
+	// FASTA file with oasis.LoadFASTA.
+	raw := map[string]string{
+		"CALM_HUMAN":  "ADQLTEEQIAEFKEAFSLFDKDGDGTITTKELGTVMRSLGQNPTEAELQDMINEVDADGNGTIDFPEFLTMMARKM",
+		"TNNC1_HUMAN": "MDDIYKAAVEQLTEEQKNEFKAAFDIFVLGAEDGCISTKELGKVMRMLGQNPTPEELQEMIDEVDEDGSGTVDFDEFLVMMVRCM",
+		"MYG_HUMAN":   "GLSDGEWQLVLNVWGKVEADIPGHGQEVLIRLFKGHPETLEKFDKFKHLKSEDEMKASEDLKKHGATVLTALGGILKKKGHHEAEI",
+		"UNRELATED":   "PPPPGGGGSSSSPPPPGGGGSSSSPPPPGGGGSSSS",
+	}
+	var seqs []oasis.Sequence
+	for id, residues := range raw {
+		enc, err := oasis.Protein.Encode(residues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs = append(seqs, oasis.Sequence{ID: id, Residues: enc})
+	}
+	db, err := oasis.NewDatabase(oasis.Protein, seqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the suffix-tree index (in memory; see examples/peptidesearch
+	// for the disk-based index).
+	idx, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A short peptide query: the classic EF-hand calcium-binding motif.
+	query := oasis.Protein.MustEncode("DKDGDGTITTKE")
+
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := oasis.NewSearchOptions(scheme, db, query, oasis.WithEValue(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: DKDGDGTITTKE (%d residues), minScore %d\n\n", len(query), opts.MinScore)
+	fmt.Println("results (streamed in decreasing score order):")
+	err = oasis.Search(idx, query, opts, func(h oasis.Hit) bool {
+		fmt.Printf("  #%d %-12s score=%d  E=%.2g\n", h.Rank, h.SeqID, h.Score, h.EValue)
+		// Show the full alignment for the best hit.
+		if h.Rank == 1 {
+			a, err := oasis.RecoverAlignment(idx, query, scheme, h)
+			if err == nil {
+				fmt.Printf("\nbest alignment (identity %.0f%%, %s):\n%s\n",
+					100*a.Identity(), a.CIGAR(),
+					a.Format(oasis.Protein, query, db.Sequence(h.SeqIndex).Residues))
+			}
+		}
+		return true // keep streaming; return false to stop after the top hits
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

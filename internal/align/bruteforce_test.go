@@ -1,0 +1,101 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// bruteForceLocal computes the optimal local alignment score by exhaustive
+// recursion over all alignments of all substring pairs.  Exponential — only
+// usable for very short sequences — but independent of the DP formulation,
+// so it validates Smith-Waterman itself rather than just its internal
+// consistency.
+func bruteForceLocal(q, t []byte, sch score.Scheme) int {
+	best := 0
+	var rec func(i, j, acc int)
+	rec = func(i, j, acc int) {
+		if acc > best {
+			best = acc
+		}
+		if i >= len(q) && j >= len(t) {
+			return
+		}
+		if i < len(q) && j < len(t) {
+			rec(i+1, j+1, acc+sch.Matrix.Score(q[i], t[j]))
+		}
+		if i < len(q) {
+			rec(i+1, j, acc+sch.Gap)
+		}
+		if j < len(t) {
+			rec(i, j+1, acc+sch.Gap)
+		}
+	}
+	// Try every alignment start pair.
+	for i := 0; i <= len(q); i++ {
+		for j := 0; j <= len(t); j++ {
+			rec(i, j, 0)
+		}
+	}
+	return best
+}
+
+func TestSmithWatermanAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	schemes := []score.Scheme{
+		score.MustScheme(score.UnitDNA(), -1),
+		score.MustScheme(score.UnitDNA(), -2),
+		score.MustScheme(score.BLASTDNA(), -5),
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := make([]byte, 1+rng.Intn(5))
+		tg := make([]byte, 1+rng.Intn(6))
+		for i := range q {
+			q[i] = byte(rng.Intn(4))
+		}
+		for i := range tg {
+			tg[i] = byte(rng.Intn(4))
+		}
+		for _, sch := range schemes {
+			want := bruteForceLocal(q, tg, sch)
+			got := Score(q, tg, sch, nil)
+			if got != want {
+				t.Fatalf("trial %d (%s gap %d): S-W %d, brute force %d (q=%v t=%v)",
+					trial, sch.Matrix.Name(), sch.Gap, got, want, q, tg)
+			}
+		}
+	}
+}
+
+func TestSmithWatermanProteinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sch := score.MustScheme(score.BLOSUM62(), -6)
+	for trial := 0; trial < 15; trial++ {
+		q := make([]byte, 1+rng.Intn(4))
+		tg := make([]byte, 1+rng.Intn(5))
+		for i := range q {
+			q[i] = byte(rng.Intn(20))
+		}
+		for i := range tg {
+			tg[i] = byte(rng.Intn(20))
+		}
+		want := bruteForceLocal(q, tg, sch)
+		got := Score(q, tg, sch, nil)
+		if got != want {
+			t.Fatalf("trial %d: S-W %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestBruteForceSanity(t *testing.T) {
+	sch := score.MustScheme(score.UnitDNA(), -1)
+	q := seq.DNA.MustEncode("TACG")
+	tg := seq.DNA.MustEncode("AGTACGCCTAG")
+	// Too long for full brute force, but the paper example with a shorter
+	// target window still gives 4.
+	if got := bruteForceLocal(q, tg[2:6], sch); got != 4 {
+		t.Fatalf("brute force on paper example window = %d, want 4", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package bufferpool implements the fixed-size page cache through which the
+// on-disk suffix tree is read (paper Sections 3.4 and 4.5): pages are loaded
+// on demand from their backing files, cached in a bounded set of frames, and
+// evicted with a simple CLOCK (second-chance) replacement policy.
+//
+// The pool tracks per-file hit statistics so the Figure 8 experiment can
+// report buffer hit ratios separately for the symbol, internal-node and leaf
+// components of the index.
+package bufferpool
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FileID identifies a file registered with the pool.
+type FileID int32
+
+// DefaultPageSize is the disk block size used by the paper's implementation.
+const DefaultPageSize = 2048
+
+// pageKey identifies one page of one registered file.
+type pageKey struct {
+	file FileID
+	page int64
+}
+
+// frame is a single buffer slot.
+type frame struct {
+	key        pageKey
+	data       []byte
+	size       int // valid bytes in data
+	valid      bool
+	pinCount   int
+	referenced bool
+}
+
+// FileStats accumulates access statistics for one registered file.
+type FileStats struct {
+	// Requests is the number of page requests issued.
+	Requests int64
+	// Hits is the number of requests served from the pool.
+	Hits int64
+}
+
+// HitRatio returns Hits/Requests, or 0 when no requests were made.
+func (s FileStats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Pool is a page cache over a set of registered files.  All methods are safe
+// for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	pageSize int
+	frames   []frame
+	table    map[pageKey]int
+	hand     int
+	files    map[FileID]backing
+	stats    map[FileID]*FileStats
+	nextFile FileID
+}
+
+type backing struct {
+	r    io.ReaderAt
+	name string
+	size int64
+}
+
+// New creates a pool with the given total capacity in bytes and page size.
+// A pageSize of 0 selects DefaultPageSize; the capacity is rounded up to at
+// least four pages.
+func New(capacityBytes int64, pageSize int) *Pool {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	n := int(capacityBytes / int64(pageSize))
+	if n < 4 {
+		n = 4
+	}
+	p := &Pool{
+		pageSize: pageSize,
+		frames:   make([]frame, n),
+		table:    make(map[pageKey]int, n),
+		files:    map[FileID]backing{},
+		stats:    map[FileID]*FileStats{},
+	}
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, pageSize)
+	}
+	return p
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// NumFrames returns the number of buffer frames.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Register adds a backing reader for a logical file and returns its ID.
+// size is the file length in bytes; name is used in statistics reporting.
+func (p *Pool) Register(name string, r io.ReaderAt, size int64) FileID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextFile
+	p.nextFile++
+	p.files[id] = backing{r: r, name: name, size: size}
+	p.stats[id] = &FileStats{}
+	return id
+}
+
+// Handle is a pinned page.  The data slice is valid until Release is called;
+// callers must not modify it.
+type Handle struct {
+	pool  *Pool
+	frame int
+	// Data holds the page contents (may be shorter than a full page for the
+	// final page of a file).
+	Data []byte
+	// PageNo is the page number within the file.
+	PageNo int64
+}
+
+// Release unpins the page.  It is safe to call exactly once per Get.
+func (h *Handle) Release() {
+	if h.pool == nil {
+		return
+	}
+	h.pool.mu.Lock()
+	defer h.pool.mu.Unlock()
+	fr := &h.pool.frames[h.frame]
+	if fr.pinCount > 0 {
+		fr.pinCount--
+	}
+	h.pool = nil
+}
+
+// Get pins and returns the pageNo-th page of the file.
+func (p *Pool) Get(file FileID, pageNo int64) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.frameForPageLocked(file, pageNo)
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[idx]
+	fr.pinCount++
+	return &Handle{pool: p, frame: idx, Data: fr.data[:fr.size], PageNo: pageNo}, nil
+}
+
+// frameForPageLocked returns the frame index holding the requested page,
+// loading it from the backing file if necessary.  The caller must hold the
+// mutex; the returned frame is not pinned.
+func (p *Pool) frameForPageLocked(file FileID, pageNo int64) (int, error) {
+	b, ok := p.files[file]
+	if !ok {
+		return 0, fmt.Errorf("bufferpool: unknown file %d", file)
+	}
+	st := p.stats[file]
+	st.Requests++
+	key := pageKey{file: file, page: pageNo}
+	if idx, ok := p.table[key]; ok {
+		st.Hits++
+		p.frames[idx].referenced = true
+		return idx, nil
+	}
+	// Miss: pick a victim frame with CLOCK and load the page.
+	idx, err := p.evictLocked()
+	if err != nil {
+		return 0, err
+	}
+	fr := &p.frames[idx]
+	if fr.valid {
+		delete(p.table, fr.key)
+		fr.valid = false
+	}
+	off := pageNo * int64(p.pageSize)
+	if off >= b.size || pageNo < 0 {
+		return 0, fmt.Errorf("bufferpool: page %d out of range for file %q (%d bytes)", pageNo, b.name, b.size)
+	}
+	want := p.pageSize
+	if off+int64(want) > b.size {
+		want = int(b.size - off)
+	}
+	n, err := b.r.ReadAt(fr.data[:want], off)
+	if err != nil && err != io.EOF {
+		return 0, fmt.Errorf("bufferpool: reading page %d of %q: %w", pageNo, b.name, err)
+	}
+	if n < want {
+		return 0, fmt.Errorf("bufferpool: short read on page %d of %q: %d < %d", pageNo, b.name, n, want)
+	}
+	fr.key = key
+	fr.size = want
+	fr.valid = true
+	fr.pinCount = 0
+	fr.referenced = true
+	p.table[key] = idx
+	return idx, nil
+}
+
+// evictLocked selects a frame to reuse using the CLOCK policy.  The caller
+// must hold the mutex.
+func (p *Pool) evictLocked() (int, error) {
+	// Two full sweeps: the first clears reference bits, the second evicts.
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		fr := &p.frames[idx]
+		if fr.pinCount > 0 {
+			continue
+		}
+		if fr.referenced {
+			fr.referenced = false
+			continue
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("bufferpool: all %d frames are pinned", len(p.frames))
+}
+
+// ReadAt reads len(buf) bytes from the file starting at off, going through
+// the page cache (possibly touching several pages).  It is the hot path of
+// the disk-resident suffix tree: each page is served under a single lock
+// acquisition with no per-call allocation.
+func (p *Pool) ReadAt(file FileID, buf []byte, off int64) error {
+	remaining := buf
+	for len(remaining) > 0 {
+		pageNo := off / int64(p.pageSize)
+		inPage := int(off % int64(p.pageSize))
+		n, err := p.readFromPage(file, pageNo, inPage, remaining)
+		if err != nil {
+			return err
+		}
+		remaining = remaining[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// readFromPage copies as much of dst as the given page can serve, starting
+// at inPage, and returns the number of bytes copied.
+func (p *Pool) readFromPage(file FileID, pageNo int64, inPage int, dst []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.frameForPageLocked(file, pageNo)
+	if err != nil {
+		return 0, err
+	}
+	fr := &p.frames[idx]
+	if inPage >= fr.size {
+		return 0, fmt.Errorf("bufferpool: offset beyond end of page %d of file %d", pageNo, file)
+	}
+	return copy(dst, fr.data[inPage:fr.size]), nil
+}
+
+// Stats returns a snapshot of the statistics for a file.
+func (p *Pool) Stats(file FileID) FileStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.stats[file]; ok {
+		return *st
+	}
+	return FileStats{}
+}
+
+// ResetStats zeroes the statistics of every registered file (used between
+// experiment phases).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range p.stats {
+		*st = FileStats{}
+	}
+}
+
+// Clear drops every unpinned cached page, forcing subsequent reads to go to
+// the backing files (used to cold-start experiments).
+func (p *Pool) Clear() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if fr.pinCount > 0 {
+			return fmt.Errorf("bufferpool: cannot clear, frame %d is pinned", i)
+		}
+		if fr.valid {
+			delete(p.table, fr.key)
+			fr.valid = false
+			fr.referenced = false
+		}
+	}
+	return nil
+}
+
+// PinnedPages returns the number of currently pinned pages (used by tests to
+// detect pin leaks).
+func (p *Pool) PinnedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pinCount > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,310 @@
+package bufferpool
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// memFile builds an in-memory ReaderAt with deterministic contents.
+func memFile(size int) *bytes.Reader {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	return bytes.NewReader(data)
+}
+
+func TestGetReturnsCorrectPageContents(t *testing.T) {
+	p := New(16*64, 64)
+	f := p.Register("data", memFile(1000), 1000)
+	h, err := p.Get(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if len(h.Data) != 64 {
+		t.Fatalf("page size = %d", len(h.Data))
+	}
+	for i, b := range h.Data {
+		if b != byte((3*64+i)%251) {
+			t.Fatalf("byte %d wrong", i)
+		}
+	}
+}
+
+func TestGetLastPartialPage(t *testing.T) {
+	p := New(16*64, 64)
+	f := p.Register("data", memFile(100), 100)
+	h, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if len(h.Data) != 36 {
+		t.Fatalf("partial page size = %d, want 36", len(h.Data))
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	p := New(16*64, 64)
+	f := p.Register("data", memFile(100), 100)
+	if _, err := p.Get(f, 5); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := p.Get(f, -1); err == nil {
+		t.Fatal("expected negative-page error")
+	}
+	if _, err := p.Get(FileID(99), 0); err == nil {
+		t.Fatal("expected unknown-file error")
+	}
+}
+
+func TestHitAndMissAccounting(t *testing.T) {
+	p := New(8*64, 64)
+	f := p.Register("data", memFile(1000), 1000)
+	for i := 0; i < 3; i++ {
+		h, err := p.Get(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	st := p.Stats(f)
+	if st.Requests != 3 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 3 requests 2 hits", st)
+	}
+	if r := st.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio = %v", r)
+	}
+	p.ResetStats()
+	if st := p.Stats(f); st.Requests != 0 || st.Hits != 0 {
+		t.Fatalf("ResetStats failed: %+v", st)
+	}
+	if (FileStats{}).HitRatio() != 0 {
+		t.Fatal("empty hit ratio should be 0")
+	}
+}
+
+func TestEvictionKeepsWorkingSetSmall(t *testing.T) {
+	// 4 frames, 10 pages: cycling through all pages must evict, and every
+	// read must still return correct data.
+	p := New(4*64, 64)
+	f := p.Register("data", memFile(640), 640)
+	for round := 0; round < 3; round++ {
+		for pg := int64(0); pg < 10; pg++ {
+			h, err := p.Get(f, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Data[0] != byte((int(pg)*64)%251) {
+				t.Fatalf("wrong data after eviction on page %d", pg)
+			}
+			h.Release()
+		}
+	}
+	if p.PinnedPages() != 0 {
+		t.Fatal("pages left pinned")
+	}
+}
+
+func TestClockPrefersUnreferencedFrames(t *testing.T) {
+	p := New(4*64, 64)
+	f := p.Register("data", memFile(64*8), 64*8)
+	// Fill the pool with pages 0..3, then load page 4: the first sweep
+	// clears every reference bit and evicts page 0.
+	for pg := int64(0); pg < 5; pg++ {
+		h, err := p.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	// Re-touch page 3 so its reference bit is set again, then load a new
+	// page: CLOCK must give page 3 a second chance and evict one of the
+	// unreferenced pages instead.
+	h, _ := p.Get(f, 3)
+	h.Release()
+	h, err := p.Get(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	before := p.Stats(f).Hits
+	h, _ = p.Get(f, 3)
+	h.Release()
+	if p.Stats(f).Hits != before+1 {
+		t.Fatal("page 3 was evicted despite its reference bit")
+	}
+}
+
+func TestAllFramesPinned(t *testing.T) {
+	p := New(4*64, 64)
+	f := p.Register("data", memFile(64*8), 64*8)
+	var handles []*Handle
+	for pg := int64(0); pg < 4; pg++ {
+		h, err := p.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if _, err := p.Get(f, 5); err == nil {
+		t.Fatal("expected all-pinned error")
+	}
+	if err := p.Clear(); err == nil {
+		t.Fatal("Clear should fail while pages are pinned")
+	}
+	for _, h := range handles {
+		h.Release()
+	}
+	if _, err := p.Get(f, 5); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestPinningSamePageTwice(t *testing.T) {
+	p := New(4*64, 64)
+	f := p.Register("data", memFile(64*4), 64*4)
+	h1, _ := p.Get(f, 1)
+	h2, _ := p.Get(f, 1)
+	if p.PinnedPages() != 1 {
+		t.Fatalf("PinnedPages = %d, want 1 (one frame, two pins)", p.PinnedPages())
+	}
+	h1.Release()
+	h1.Release() // double release is a no-op
+	if p.PinnedPages() != 1 {
+		t.Fatal("double release corrupted pin count")
+	}
+	h2.Release()
+	if p.PinnedPages() != 0 {
+		t.Fatal("pin count should be zero")
+	}
+}
+
+func TestReadAtSpanningPages(t *testing.T) {
+	p := New(8*64, 64)
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i % 256)
+	}
+	f := p.Register("data", bytes.NewReader(data), int64(len(data)))
+	buf := make([]byte, 200)
+	if err := p.ReadAt(f, buf, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[30:230]) {
+		t.Fatal("ReadAt returned wrong data")
+	}
+	if err := p.ReadAt(f, make([]byte, 10), 600); err == nil {
+		t.Fatal("expected error past EOF")
+	}
+	if p.PinnedPages() != 0 {
+		t.Fatal("ReadAt leaked pins")
+	}
+}
+
+func TestClearDropsCachedPages(t *testing.T) {
+	p := New(8*64, 64)
+	f := p.Register("data", memFile(640), 640)
+	h, _ := p.Get(f, 0)
+	h.Release()
+	if err := p.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = p.Get(f, 0)
+	h.Release()
+	st := p.Stats(f)
+	if st.Hits != 0 {
+		t.Fatalf("expected a miss after Clear, stats = %+v", st)
+	}
+}
+
+func TestMultipleFiles(t *testing.T) {
+	p := New(8*64, 64)
+	fa := p.Register("a", memFile(640), 640)
+	fb := p.Register("b", bytes.NewReader(bytes.Repeat([]byte{7}, 640)), 640)
+	ha, _ := p.Get(fa, 0)
+	hb, _ := p.Get(fb, 0)
+	if ha.Data[1] == hb.Data[1] {
+		t.Fatal("files should have different contents")
+	}
+	ha.Release()
+	hb.Release()
+	if p.Stats(fa).Requests != 1 || p.Stats(fb).Requests != 1 {
+		t.Fatal("per-file stats not separated")
+	}
+}
+
+func TestDefaultsAndMinimumFrames(t *testing.T) {
+	p := New(0, 0)
+	if p.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d", p.PageSize())
+	}
+	if p.NumFrames() < 4 {
+		t.Fatalf("NumFrames = %d", p.NumFrames())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(16*256, 256)
+	f := p.Register("data", memFile(256*64), 256*64)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pg := int64((g*31 + i*7) % 64)
+				h, err := p.Get(f, pg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if h.Data[0] != byte((int(pg)*256)%251) {
+					errs <- fmt.Errorf("bad data on page %d", pg)
+					h.Release()
+					return
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.PinnedPages() != 0 {
+		t.Fatal("leaked pins under concurrency")
+	}
+}
+
+// Property: reading arbitrary in-range (offset, length) windows through the
+// pool returns exactly the underlying bytes.
+func TestReadAtProperty(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte((i * 37) % 256)
+	}
+	p := New(6*128, 128) // small pool forces evictions
+	f := p.Register("data", bytes.NewReader(data), int64(len(data)))
+	check := func(off uint16, ln uint8) bool {
+		o := int64(off) % int64(len(data))
+		l := int(ln)
+		if o+int64(l) > int64(len(data)) {
+			l = int(int64(len(data)) - o)
+		}
+		buf := make([]byte, l)
+		if err := p.ReadAt(f, buf, o); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data[o:int(o)+l])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/score"
+)
+
+// RecoverAlignment reconstructs the full alignment (coordinates and
+// operations) for a hit reported by Search, by running a bounded
+// Smith-Waterman traceback against the hit's sequence.  Because OASIS
+// reports each sequence's optimal score, the recovered alignment has exactly
+// the hit's score.
+func RecoverAlignment(idx Index, query []byte, sch score.Scheme, h Hit) (align.Alignment, error) {
+	cat := idx.Catalog()
+	if h.SeqIndex < 0 || h.SeqIndex >= cat.NumSequences() {
+		return align.Alignment{}, fmt.Errorf("core: hit sequence index %d out of range", h.SeqIndex)
+	}
+	res, err := cat.Residues(h.SeqIndex)
+	if err != nil {
+		return align.Alignment{}, err
+	}
+	a, err := align.Align(query, res, sch)
+	if err != nil {
+		return align.Alignment{}, err
+	}
+	if a.Score != h.Score {
+		return align.Alignment{}, fmt.Errorf("core: recovered alignment score %d != reported score %d for %s",
+			a.Score, h.Score, h.SeqID)
+	}
+	a.SeqIndex = h.SeqIndex
+	a.SeqID = h.SeqID
+	a.EValue = h.EValue
+	return a, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/score"
+)
+
+// TestHeuristicIsAdmissible verifies the A* admissibility property the
+// correctness argument of Section 3 rests on: H[i] is an upper bound on the
+// optimal local-alignment score between the query remainder Q[i+1..m] and
+// ANY target sequence.  If this ever failed, OASIS could report results out
+// of order or miss the optimum for a sequence.
+func TestHeuristicIsAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	schemes := []score.Scheme{
+		score.MustScheme(score.BLOSUM62(), -8),
+		score.MustScheme(score.PAM30(), -10),
+		score.MustScheme(score.UnitDNA(), -1),
+	}
+	for _, sch := range schemes {
+		alphaN := 20
+		if sch.Matrix.Alphabet().Size() < 20 {
+			alphaN = 4
+		}
+		for trial := 0; trial < 30; trial++ {
+			m := 2 + rng.Intn(20)
+			query := make([]byte, m)
+			for i := range query {
+				query[i] = byte(rng.Intn(alphaN))
+			}
+			h := HeuristicVector(query, sch.Matrix)
+			if h[m] != 0 {
+				t.Fatalf("H[m] = %d, want 0", h[m])
+			}
+			for i := 0; i < m; i++ {
+				if h[i] < h[i+1] {
+					t.Fatalf("heuristic not monotone: H[%d]=%d < H[%d]=%d", i, h[i], i+1, h[i+1])
+				}
+			}
+			// Random targets must never beat the bound for any suffix of
+			// the query.
+			for k := 0; k < 5; k++ {
+				target := make([]byte, 5+rng.Intn(60))
+				for i := range target {
+					target[i] = byte(rng.Intn(alphaN))
+				}
+				for i := 0; i <= m; i++ {
+					opt := align.Score(query[i:], target, sch, nil)
+					if opt > h[i] {
+						t.Fatalf("heuristic not admissible: H[%d]=%d but S-W found %d (%s)",
+							i, h[i], opt, sch.Matrix.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHeuristicTightForExactMatch checks that for a query aligned against
+// itself (no gaps, perfect matches on the diagonal) the heuristic bound at
+// position 0 is achieved exactly when every residue's best substitution is
+// itself (true for every built-in protein matrix).
+func TestHeuristicTightForExactMatch(t *testing.T) {
+	sch := score.MustScheme(score.BLOSUM62(), -8)
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(15)
+		query := make([]byte, m)
+		for i := range query {
+			query[i] = byte(rng.Intn(20))
+		}
+		h := HeuristicVector(query, sch.Matrix)
+		self := align.Score(query, query, sch, nil)
+		if self > h[0] {
+			t.Fatalf("self alignment %d exceeds heuristic %d", self, h[0])
+		}
+		// For BLOSUM62 every standard residue's row maximum is its own
+		// diagonal entry, so the bound is exactly the self-alignment score.
+		if self != h[0] {
+			t.Fatalf("heuristic %d not tight for self alignment %d", h[0], self)
+		}
+	}
+}

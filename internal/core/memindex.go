@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+)
+
+// MemoryIndex adapts an in-memory suffix tree (and its database) to the
+// Index interface.  It is the fastest index for data sets that fit in
+// memory and serves as the reference implementation the disk index is tested
+// against.
+//
+// Internal NodeRefs are the suffix tree's own node identifiers (the root is
+// always node 0), so translation between the two spaces is free; leaf
+// NodeRefs are suffix start positions, exactly as for the disk index.
+type MemoryIndex struct {
+	tree *suffixtree.Tree
+	db   *seq.Database
+	// leafOf maps suffix positions to leaf NodeIDs; it is built lazily and
+	// only consulted when a caller addresses a leaf directly (reporting
+	// never needs it: a leaf's position is its reference).
+	leafOf map[int64]suffixtree.NodeID
+}
+
+// NewMemoryIndex builds the adapter.  The tree must have been built over the
+// database.
+func NewMemoryIndex(tree *suffixtree.Tree, db *seq.Database) (*MemoryIndex, error) {
+	if tree == nil || db == nil {
+		return nil, fmt.Errorf("core: nil tree or database")
+	}
+	if tree.DB() != db {
+		return nil, fmt.Errorf("core: tree was not built over the supplied database")
+	}
+	m := &MemoryIndex{
+		tree:   tree,
+		db:     db,
+		leafOf: map[int64]suffixtree.NodeID{},
+	}
+	tree.Walk(tree.Root(), func(n suffixtree.NodeID) bool {
+		if tree.IsLeaf(n) {
+			m.leafOf[tree.SuffixStart(n)] = n
+		}
+		return true
+	})
+	return m, nil
+}
+
+// BuildMemoryIndex constructs the suffix tree (Ukkonen) for the database and
+// wraps it in a MemoryIndex.
+func BuildMemoryIndex(db *seq.Database) (*MemoryIndex, error) {
+	tree, err := suffixtree.BuildUkkonen(db)
+	if err != nil {
+		return nil, err
+	}
+	return NewMemoryIndex(tree, db)
+}
+
+// Tree returns the underlying suffix tree.
+func (m *MemoryIndex) Tree() *suffixtree.Tree { return m.tree }
+
+// Root implements Index.
+func (m *MemoryIndex) Root() NodeRef { return InternalRef(0) }
+
+func (m *MemoryIndex) resolve(ref NodeRef) (suffixtree.NodeID, error) {
+	if ref.IsLeaf() {
+		id, ok := m.leafOf[ref.LeafPos()]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown leaf position %d", ref.LeafPos())
+		}
+		return id, nil
+	}
+	idx := ref.InternalIndex()
+	if idx < 0 || idx >= int64(m.tree.NumNodes()) {
+		return 0, fmt.Errorf("core: internal node index %d out of range", idx)
+	}
+	id := suffixtree.NodeID(idx)
+	if m.tree.IsLeaf(id) {
+		return 0, fmt.Errorf("core: node %d is a leaf, not an internal node", idx)
+	}
+	return id, nil
+}
+
+// VisitChildren implements Index.
+func (m *MemoryIndex) VisitChildren(ref NodeRef, parentDepth int, fn func(child NodeRef, label EdgeLabel) error) error {
+	id, err := m.resolve(ref)
+	if err != nil {
+		return err
+	}
+	// One label wrapper is reused for every child: converting a pointer to
+	// the EdgeLabel interface does not allocate, and the interface contract
+	// only guarantees validity within the callback.
+	label := &ByteLabel{}
+	for c := m.tree.FirstChild(id); c != suffixtree.NoNode; c = m.tree.NextSibling(c) {
+		var childRef NodeRef
+		if m.tree.IsLeaf(c) {
+			childRef = LeafRef(m.tree.SuffixStart(c))
+		} else {
+			childRef = InternalRef(int64(c))
+		}
+		label.B = m.tree.EdgeLabel(c)
+		if err := fn(childRef, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeafPositions implements Index.
+func (m *MemoryIndex) LeafPositions(ref NodeRef, fn func(pos int64) bool) error {
+	if ref.IsLeaf() {
+		if _, err := m.resolve(ref); err != nil {
+			return err
+		}
+		fn(ref.LeafPos())
+		return nil
+	}
+	id, err := m.resolve(ref)
+	if err != nil {
+		return err
+	}
+	m.tree.LeafPositions(id, fn)
+	return nil
+}
+
+// Catalog implements Index.
+func (m *MemoryIndex) Catalog() Catalog { return dbCatalog{db: m.db} }
+
+// dbCatalog adapts a seq.Database to the Catalog interface.
+type dbCatalog struct{ db *seq.Database }
+
+func (c dbCatalog) Alphabet() *seq.Alphabet { return c.db.Alphabet() }
+func (c dbCatalog) NumSequences() int       { return c.db.NumSequences() }
+func (c dbCatalog) SequenceID(i int) string { return c.db.Sequence(i).ID }
+func (c dbCatalog) SequenceLength(i int) int {
+	return c.db.Sequence(i).Len()
+}
+func (c dbCatalog) TotalResidues() int64 { return c.db.TotalResidues() }
+func (c dbCatalog) Locate(pos int64) (int, int64, error) {
+	return c.db.Locate(pos)
+}
+func (c dbCatalog) Residues(i int) ([]byte, error) {
+	if i < 0 || i >= c.db.NumSequences() {
+		return nil, fmt.Errorf("core: sequence index %d out of range", i)
+	}
+	return c.db.Sequence(i).Residues, nil
+}
+
+// NewDatabaseCatalog wraps a database in the Catalog interface; exported for
+// use by other packages (e.g. baseline searchers that want uniform
+// reporting).
+func NewDatabaseCatalog(db *seq.Database) Catalog { return dbCatalog{db: db} }
+
+var _ Index = (*MemoryIndex)(nil)

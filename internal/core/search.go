@@ -1,0 +1,648 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/score"
+)
+
+// negInf is the pruned-score sentinel (alias of score.NegInf).
+const negInf = score.NegInf
+
+// Options configures an OASIS search.
+type Options struct {
+	// Scheme is the substitution matrix and (linear) gap penalty.
+	Scheme score.Scheme
+	// MinScore is the minimum alignment score for a sequence to be
+	// reported (paper parameter minScore; derived from an E-value via
+	// score.KarlinAltschul.MinScore).  Must be >= 1.
+	MinScore int
+	// MaxResults stops the search after this many sequences have been
+	// reported (0 = report every qualifying sequence).  Because results
+	// arrive in decreasing score order this yields the top-k sequences.
+	MaxResults int
+	// KA, when non-nil, attaches E-values to reported hits.
+	KA *score.KarlinAltschul
+	// Stats, when non-nil, accumulates work counters.
+	Stats *Stats
+}
+
+// Hit is one reported sequence: the strongest local alignment between the
+// query and that sequence (OASIS duplicates S-W's one-hit-per-sequence
+// reporting, paper Section 3).
+type Hit struct {
+	// SeqIndex and SeqID identify the database sequence.
+	SeqIndex int
+	SeqID    string
+	// Score is the optimal local-alignment score for this sequence.
+	Score int
+	// EValue is the expectation value when Options.KA was provided.
+	EValue float64
+	// QueryEnd is the 1-based query position at which the reported
+	// alignment ends.
+	QueryEnd int
+	// TargetEnd is the 0-based exclusive end offset of the alignment
+	// within the target sequence.
+	TargetEnd int
+	// Rank is the position of this hit in the result stream (1 = first
+	// and therefore highest-scoring).
+	Rank int
+}
+
+// Stats accumulates the work counters used by the paper's filtering
+// comparison (Figure 4) and by the ablation benchmarks.
+type Stats struct {
+	// ColumnsExpanded counts dynamic-programming columns filled in (the
+	// paper's filtering metric).
+	ColumnsExpanded int64
+	// CellsComputed counts individual matrix cells evaluated.
+	CellsComputed int64
+	// NodesExpanded counts suffix-tree nodes whose children were expanded.
+	NodesExpanded int64
+	// NodesPushed counts search nodes pushed onto the priority queue.
+	NodesPushed int64
+	// NodesAccepted counts nodes tagged ACCEPTED.
+	NodesAccepted int64
+	// NodesUnviable counts nodes discarded as UNVIABLE.
+	NodesUnviable int64
+	// MaxQueueSize is the high-water mark of the priority queue.
+	MaxQueueSize int
+	// SequencesReported counts reported hits.
+	SequencesReported int64
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.ColumnsExpanded += other.ColumnsExpanded
+	s.CellsComputed += other.CellsComputed
+	s.NodesExpanded += other.NodesExpanded
+	s.NodesPushed += other.NodesPushed
+	s.NodesAccepted += other.NodesAccepted
+	s.NodesUnviable += other.NodesUnviable
+	s.SequencesReported += other.SequencesReported
+	if other.MaxQueueSize > s.MaxQueueSize {
+		s.MaxQueueSize = other.MaxQueueSize
+	}
+}
+
+// tag is the search-node state from the paper: viable nodes may still yield
+// stronger alignments and are expanded further; accepted nodes report their
+// subtree's sequences when they reach the head of the queue; unviable nodes
+// are discarded immediately and never enter the queue.
+type tag uint8
+
+const (
+	tagViable tag = iota
+	tagAccepted
+)
+
+// searchNode is a node of the OASIS search space.  It corresponds to a
+// suffix-tree node and carries one column of the dynamic-programming matrix
+// (the paper's C vector) plus the path bookkeeping needed for pruning and
+// reporting.
+type searchNode struct {
+	ref   NodeRef
+	depth int // symbols on the path from the root
+	// c[i] is the best score of an alignment between Q[1..i] and a suffix
+	// of the node's path, or negInf when pruned.  Only retained for viable
+	// nodes (accepted nodes never expand further).
+	c []int
+	// maxScore is the strongest alignment found along this path.
+	maxScore int
+	// bestQueryEnd / bestPathDepth record where maxScore was achieved, for
+	// hit reporting.
+	bestQueryEnd  int
+	bestPathDepth int
+	// f orders the priority queue: an upper bound on any score obtainable
+	// below this node (viable) or the score to report (accepted).
+	f   int
+	tag tag
+	seq int64 // insertion counter for deterministic tie-breaking
+}
+
+// Search runs the OASIS algorithm for query over the index and calls report
+// once per qualifying database sequence, in decreasing order of alignment
+// score (the paper's online property).  The search stops when report returns
+// false, when MaxResults sequences have been reported, or when the priority
+// queue is exhausted.
+func Search(idx Index, query []byte, opts Options, report func(Hit) bool) error {
+	s, err := newSearcher(idx, query, opts)
+	if err != nil {
+		return err
+	}
+	return s.run(report)
+}
+
+// SearchAll runs Search and collects every hit.
+func SearchAll(idx Index, query []byte, opts Options) ([]Hit, error) {
+	var hits []Hit
+	err := Search(idx, query, opts, func(h Hit) bool {
+		hits = append(hits, h)
+		return true
+	})
+	return hits, err
+}
+
+// searcher holds the state of one OASIS search.
+type searcher struct {
+	idx      Index
+	cat      Catalog
+	query    []byte
+	opts     Options
+	h        []int // heuristic vector, length m+1
+	pq       nodeHeap
+	reported []bool
+	nHits    int
+	seqGen   int64
+	stats    *Stats
+	// prevBuf/curBuf are scratch columns reused across expansions to avoid
+	// a pair of allocations per visited child.
+	prevBuf []int
+	curBuf  []int
+	// freeCols recycles the C vectors of popped viable nodes.
+	freeCols [][]int
+	// freeNodes recycles searchNode structs of popped nodes.
+	freeNodes []*searchNode
+	// prof is the query profile: prof[(i-1)*profWidth + sym] is the
+	// substitution score of query position i against symbol sym, hoisting
+	// the matrix lookup out of the inner loop.
+	prof      []int
+	profWidth int
+}
+
+func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("core: nil index")
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	if err := opts.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MinScore < 1 {
+		return nil, fmt.Errorf("core: MinScore must be >= 1, got %d", opts.MinScore)
+	}
+	cat := idx.Catalog()
+	if !cat.Alphabet().ValidCodes(query) {
+		return nil, fmt.Errorf("core: query contains symbols outside the %q alphabet", cat.Alphabet().Name())
+	}
+	if opts.Scheme.Matrix.Alphabet() != cat.Alphabet() {
+		return nil, fmt.Errorf("core: matrix %q is over a different alphabet than the index", opts.Scheme.Matrix.Name())
+	}
+	st := opts.Stats
+	if st == nil {
+		st = &Stats{}
+	}
+	s := &searcher{
+		idx:      idx,
+		cat:      cat,
+		query:    query,
+		opts:     opts,
+		h:        HeuristicVector(query, opts.Scheme.Matrix),
+		reported: make([]bool, cat.NumSequences()),
+		stats:    st,
+		prevBuf:  make([]int, len(query)+1),
+		curBuf:   make([]int, len(query)+1),
+	}
+	mat := opts.Scheme.Matrix
+	s.profWidth = mat.Size()
+	s.prof = make([]int, len(query)*s.profWidth)
+	for i, q := range query {
+		for sym := 0; sym < s.profWidth; sym++ {
+			s.prof[i*s.profWidth+sym] = mat.Score(q, byte(sym))
+		}
+	}
+	return s, nil
+}
+
+// allocColumn returns a column buffer, reusing one from a popped node when
+// available.
+func (s *searcher) allocColumn() []int {
+	if n := len(s.freeCols); n > 0 {
+		c := s.freeCols[n-1]
+		s.freeCols = s.freeCols[:n-1]
+		return c
+	}
+	return make([]int, len(s.query)+1)
+}
+
+// recycleColumn returns a node's column buffer to the free list.
+func (s *searcher) recycleColumn(c []int) {
+	if c != nil && len(s.freeCols) < 1024 {
+		s.freeCols = append(s.freeCols, c)
+	}
+}
+
+// allocNode returns a zeroed searchNode, reusing a recycled one when
+// available.
+func (s *searcher) allocNode() *searchNode {
+	if n := len(s.freeNodes); n > 0 {
+		nd := s.freeNodes[n-1]
+		s.freeNodes = s.freeNodes[:n-1]
+		*nd = searchNode{}
+		return nd
+	}
+	return &searchNode{}
+}
+
+// recycleNode returns a popped, fully processed node to the free list.
+func (s *searcher) recycleNode(n *searchNode) {
+	s.recycleColumn(n.c)
+	n.c = nil
+	if len(s.freeNodes) < 1024 {
+		s.freeNodes = append(s.freeNodes, n)
+	}
+}
+
+// HeuristicVector computes the paper's admissible heuristic: H[i] is an
+// upper bound on the score of aligning the query remainder Q[i+1..m] against
+// any target (the suffix sum of each remaining symbol's best possible
+// substitution score, never below zero per symbol).
+func HeuristicVector(query []byte, m *score.Matrix) []int {
+	h := make([]int, len(query)+1)
+	for i := len(query) - 1; i >= 0; i-- {
+		best := m.RowMax(query[i])
+		if best < 0 {
+			best = 0
+		}
+		h[i] = h[i+1] + best
+	}
+	return h
+}
+
+// run executes the main best-first loop (paper Algorithm 1).
+func (s *searcher) run(report func(Hit) bool) error {
+	root := s.rootNode()
+	if root != nil {
+		s.push(root)
+	}
+	for s.pq.Len() > 0 {
+		n := s.pop()
+		if n.tag == tagAccepted {
+			done, err := s.reportSubtree(n, report)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			s.recycleNode(n)
+			continue
+		}
+		// Viable: expand every child of the corresponding suffix-tree node.
+		s.stats.NodesExpanded++
+		err := s.idx.VisitChildren(n.ref, n.depth, func(child NodeRef, label EdgeLabel) error {
+			cn, err := s.expand(n, child, label)
+			if err != nil {
+				return err
+			}
+			if cn != nil {
+				s.push(cn)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// The popped node (and its column vector) is no longer needed.
+		s.recycleNode(n)
+	}
+	return nil
+}
+
+// rootNode builds the initial search node (paper Algorithm 2): the score
+// vector is zero (alignments may skip any query prefix for free), pruned
+// where even the full heuristic cannot reach minScore.
+func (s *searcher) rootNode() *searchNode {
+	m := len(s.query)
+	c := make([]int, m+1)
+	viable := false
+	for i := 0; i <= m; i++ {
+		if s.h[i] < s.opts.MinScore {
+			c[i] = negInf
+		} else {
+			c[i] = 0
+			viable = true
+		}
+	}
+	if !viable {
+		// Even a perfect match of the whole query cannot reach minScore.
+		return nil
+	}
+	f := negInf
+	for i := 0; i <= m; i++ {
+		if c[i] != negInf && c[i]+s.h[i] > f {
+			f = c[i] + s.h[i]
+		}
+	}
+	return &searchNode{
+		ref:      s.idx.Root(),
+		depth:    0,
+		c:        c,
+		maxScore: 0,
+		f:        f,
+		tag:      tagViable,
+	}
+}
+
+// expand fills in the dynamic-programming columns for the symbols on the
+// edge leading to child (paper Algorithm 3) and returns the resulting search
+// node, or nil when the node is unviable.
+//
+// The edge label is consumed lazily (chunk by chunk) so that long leaf edges
+// are only read as far as the column sweep actually progresses before the
+// node is accepted or discarded.
+func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*searchNode, error) {
+	m := len(s.query)
+	mat := s.opts.Scheme.Matrix
+	gap := s.opts.Scheme.Gap
+	minScore := s.opts.MinScore
+	h := s.h
+
+	// prev/cur are searcher-owned scratch buffers (reused across every
+	// expansion); prev starts as a copy of the parent's column so the
+	// parent's vector stays intact for its other children.
+	prev := s.prevBuf
+	cur := s.curBuf
+	copy(prev, parent.c)
+	maxScore := parent.maxScore
+	bestQEnd := parent.bestQueryEnd
+	bestDepth := parent.bestPathDepth
+
+	hColumn := negInf
+	columns := 0
+	terminator := false
+	labelLen := label.Len()
+	var chunk []byte
+	chunkStart, chunkEnd := 0, 0
+	for j := 0; j < labelLen; j++ {
+		if j >= chunkEnd {
+			to := j + 64
+			if to > labelLen {
+				to = labelLen
+			}
+			var err error
+			chunk, err = label.Symbols(j, to)
+			if err != nil {
+				return nil, err
+			}
+			chunkStart, chunkEnd = j, to
+		}
+		sym := chunk[j-chunkStart]
+		if int(sym) >= mat.Size() {
+			// Sequence terminator: alignments never extend across it; the
+			// remaining label (if any) is beyond this sequence.
+			terminator = true
+			break
+		}
+		pathDepth := parent.depth + j + 1
+		// Row 0: only a deletion from the previous column is possible; a
+		// reset to zero would duplicate work done on other suffixes.
+		v0 := addScore(prev[0], gap)
+		if v0 <= 0 || v0+h[0] <= maxScore || v0+h[0] < minScore {
+			v0 = negInf
+		}
+		cur[0] = v0
+		colBest := negInf
+		if v0 != negInf && v0+h[0] > colBest {
+			colBest = v0 + h[0]
+		}
+		profRow := s.prof[:]
+		symInt := int(sym)
+		for i := 1; i <= m; i++ {
+			diag := addScore(prev[i-1], profRow[(i-1)*s.profWidth+symInt])
+			up := addScore(cur[i-1], gap)  // insertion: consume a query symbol
+			left := addScore(prev[i], gap) // deletion: consume a target symbol
+			v := diag
+			if up > v {
+				v = up
+			}
+			if left > v {
+				v = left
+			}
+			// Alignment pruning (paper Section 3.2, cases 1-3).
+			if v <= 0 || v+h[i] <= maxScore || v+h[i] < minScore {
+				v = negInf
+			}
+			cur[i] = v
+			if v != negInf {
+				if v > maxScore {
+					maxScore = v
+					bestQEnd = i
+					bestDepth = pathDepth
+				}
+				if v+h[i] > colBest {
+					colBest = v + h[i]
+				}
+			}
+		}
+		columns++
+		hColumn = colBest
+		if maxScore >= hColumn {
+			// Nothing below this node can beat the alignment already found
+			// along this path.
+			s.recordColumns(columns, m)
+			if maxScore >= minScore {
+				s.stats.NodesAccepted++
+				node := s.allocNode()
+				node.ref = child
+				node.depth = parent.depth + j + 1
+				node.maxScore = maxScore
+				node.bestQueryEnd = bestQEnd
+				node.bestPathDepth = bestDepth
+				node.f = maxScore
+				node.tag = tagAccepted
+				return node, nil
+			}
+			s.stats.NodesUnviable++
+			return nil, nil
+		}
+		if hColumn < minScore {
+			s.recordColumns(columns, m)
+			s.stats.NodesUnviable++
+			return nil, nil
+		}
+		prev, cur = cur, prev
+	}
+	s.recordColumns(columns, m)
+	// Keep the searcher's scratch pointers consistent with the swaps.
+	s.prevBuf, s.curBuf = prev, cur
+
+	// The whole edge label has been consumed (or a terminator reached).
+	node := s.allocNode()
+	node.ref = child
+	node.depth = parent.depth + columns
+	node.maxScore = maxScore
+	node.bestQueryEnd = bestQEnd
+	node.bestPathDepth = bestDepth
+	if child.IsLeaf() || terminator {
+		// No further expansion is possible below a leaf.
+		if maxScore >= minScore {
+			node.tag = tagAccepted
+			node.f = maxScore
+			s.stats.NodesAccepted++
+			return node, nil
+		}
+		s.stats.NodesUnviable++
+		s.recycleNode(node)
+		return nil, nil
+	}
+	if columns == 0 {
+		// Degenerate empty edge (cannot happen in a well-formed index).
+		s.stats.NodesUnviable++
+		s.recycleNode(node)
+		return nil, nil
+	}
+	node.tag = tagViable
+	node.f = hColumn
+	node.c = s.allocColumn()
+	copy(node.c, prev) // prev holds the last computed column after the swap
+	return node, nil
+}
+
+// addScore adds a matrix/gap score to a cell value, keeping negInf absorbing.
+func addScore(v, delta int) int {
+	if v <= negInf {
+		return negInf
+	}
+	return v + delta
+}
+
+func (s *searcher) recordColumns(columns, m int) {
+	s.stats.ColumnsExpanded += int64(columns)
+	s.stats.CellsComputed += int64(columns) * int64(m+1)
+}
+
+// reportSubtree reports every not-yet-reported sequence that contains a leaf
+// below the accepted node.  It returns true when the search is finished
+// (callback cancelled, MaxResults reached, or every sequence reported).
+func (s *searcher) reportSubtree(n *searchNode, report func(Hit) bool) (bool, error) {
+	done := false
+	var walkErr error
+	err := s.idx.LeafPositions(n.ref, func(pos int64) bool {
+		seqIdx, local, err := s.cat.Locate(pos)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if s.reported[seqIdx] {
+			return true
+		}
+		s.reported[seqIdx] = true
+		s.nHits++
+		s.stats.SequencesReported++
+		hit := Hit{
+			SeqIndex:  seqIdx,
+			SeqID:     s.cat.SequenceID(seqIdx),
+			Score:     n.maxScore,
+			QueryEnd:  n.bestQueryEnd,
+			TargetEnd: int(local) + n.bestPathDepth,
+			Rank:      s.nHits,
+		}
+		if hit.TargetEnd > s.cat.SequenceLength(seqIdx) {
+			hit.TargetEnd = s.cat.SequenceLength(seqIdx)
+		}
+		if s.opts.KA != nil {
+			hit.EValue = s.opts.KA.EValue(hit.Score, len(s.query), s.cat.TotalResidues())
+		}
+		if !report(hit) {
+			done = true
+			return false
+		}
+		if s.opts.MaxResults > 0 && s.nHits >= s.opts.MaxResults {
+			done = true
+			return false
+		}
+		if s.nHits >= s.cat.NumSequences() {
+			done = true
+			return false
+		}
+		return true
+	})
+	if walkErr != nil {
+		return false, walkErr
+	}
+	return done, err
+}
+
+func (s *searcher) push(n *searchNode) {
+	n.seq = s.seqGen
+	s.seqGen++
+	s.pq.push(n)
+	s.stats.NodesPushed++
+	if s.pq.Len() > s.stats.MaxQueueSize {
+		s.stats.MaxQueueSize = s.pq.Len()
+	}
+}
+
+func (s *searcher) pop() *searchNode { return s.pq.pop() }
+
+// nodeHeap is a max-heap over searchNodes ordered by f (ties: accepted nodes
+// before viable ones, then insertion order for determinism).
+type nodeHeap struct {
+	items []*searchNode
+}
+
+func nodeLess(a, b *searchNode) bool {
+	if a.f != b.f {
+		return a.f > b.f
+	}
+	if a.tag != b.tag {
+		return a.tag == tagAccepted
+	}
+	return a.seq < b.seq
+}
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+
+func (h *nodeHeap) push(n *searchNode) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if nodeLess(h.items[i], h.items[parent]) {
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+			continue
+		}
+		break
+	}
+}
+
+func (h *nodeHeap) pop() *searchNode {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.items) && nodeLess(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r < len(h.items) && nodeLess(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}
+
+// SortHits orders hits by decreasing score then by sequence index; used when
+// comparing result sets from different algorithms.
+func SortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].SeqIndex < hits[j].SeqIndex
+	})
+}

@@ -1,0 +1,405 @@
+package diskst
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bufferpool"
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+)
+
+func buildIndex(t *testing.T, db *seq.Database, opts BuildOptions) (*Index, *BuildStats, *bufferpool.Pool) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.oasis")
+	st, err := Build(path, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(1<<20, 512)
+	idx, err := Open(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx, st, pool
+}
+
+func paperDB(t *testing.T) *seq.Database {
+	t.Helper()
+	db, err := seq.DatabaseFromStrings(seq.DNA, "AGTACGCCTAG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildAndOpenBasics(t *testing.T) {
+	db := paperDB(t)
+	idx, st, _ := buildIndex(t, db, BuildOptions{})
+	if st.NumLeaves != db.ConcatLen() || st.NumSequences != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if idx.NumLeaves() != db.ConcatLen() {
+		t.Fatalf("NumLeaves = %d", idx.NumLeaves())
+	}
+	if idx.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d", idx.BlockSize())
+	}
+	cat := idx.Catalog()
+	if cat.NumSequences() != 1 || cat.SequenceID(0) != "seq0" || cat.SequenceLength(0) != 11 {
+		t.Fatalf("catalog wrong: %d %q %d", cat.NumSequences(), cat.SequenceID(0), cat.SequenceLength(0))
+	}
+	if cat.Alphabet() != seq.DNA {
+		t.Fatal("alphabet wrong")
+	}
+	if cat.TotalResidues() != 11 {
+		t.Fatalf("TotalResidues = %d", cat.TotalResidues())
+	}
+	res, err := cat.Residues(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.DNA.Decode(res) != "AGTACGCCTAG" {
+		t.Fatalf("residues = %q", seq.DNA.Decode(res))
+	}
+	if _, err := cat.Residues(5); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// collectTree walks an index and produces a canonical fingerprint:
+// (ref kind, depth, label, sorted leaf positions at leaves).
+func collectTree(t *testing.T, idx core.Index) string {
+	t.Helper()
+	var sb strings.Builder
+	var walk func(ref core.NodeRef, depth int, label string)
+	walk = func(ref core.NodeRef, depth int, label string) {
+		if ref.IsLeaf() {
+			fmt.Fprintf(&sb, "L(%q,%d,%d)", label, depth, ref.LeafPos())
+			return
+		}
+		fmt.Fprintf(&sb, "N(%q,%d)[", label, depth)
+		type child struct {
+			ref   core.NodeRef
+			label string
+		}
+		var kids []child
+		if err := idx.VisitChildren(ref, depth, func(c core.NodeRef, l core.EdgeLabel) error {
+			full, err := core.LabelBytes(l)
+			if err != nil {
+				return err
+			}
+			kids = append(kids, child{ref: c, label: string(full)})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Child order differs between the memory adapter (sorted by symbol)
+		// and the disk layout (leaves first); canonicalise.
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].label != kids[j].label {
+				return kids[i].label < kids[j].label
+			}
+			return kids[i].ref < kids[j].ref
+		})
+		for _, k := range kids {
+			walk(k.ref, depth+len(k.label), k.label)
+		}
+		sb.WriteString("]")
+	}
+	walk(idx.Root(), 0, "")
+	return sb.String()
+}
+
+func TestDiskIndexMatchesMemoryIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := [][]string{
+		{"AGTACGCCTAG"},
+		{"ACGT", "ACGT"},
+		{"A"},
+		{"GATTACA", "TTTT", "AG", "CAGTCAGT"},
+	}
+	for i := 0; i < 4; i++ {
+		var c []string
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			c = append(c, randomDNA(rng, 1+rng.Intn(50)))
+		}
+		cases = append(cases, c)
+	}
+	for ci, c := range cases {
+		db, err := seq.DatabaseFromStrings(seq.DNA, c...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := core.BuildMemoryIndex(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, partitioned := range []bool{false, true} {
+			idx, _, _ := buildIndex(t, db, BuildOptions{Partitioned: partitioned, PrefixLen: 1})
+			got := collectTree(t, idx)
+			want := collectTree(t, mem)
+			if got != want {
+				t.Fatalf("case %d (partitioned=%v): disk tree differs from memory tree\n got: %s\nwant: %s",
+					ci, partitioned, got, want)
+			}
+		}
+	}
+}
+
+func TestLeafPositionsMatchMemory(t *testing.T) {
+	db, err := seq.DatabaseFromStrings(seq.DNA, "GATTACAGATTACA", "CCGGAACC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, _ := buildIndex(t, db, BuildOptions{})
+	mem, err := core.BuildMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(x core.Index) []int64 {
+		var out []int64
+		if err := x.LeafPositions(x.Root(), func(pos int64) bool {
+			out = append(out, pos)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	got, want := collect(idx), collect(mem)
+	if len(got) != len(want) {
+		t.Fatalf("leaf count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("leaf %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	// Early stop must also work.
+	n := 0
+	if err := idx.LeafPositions(idx.Root(), func(pos int64) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop visited %d leaves", n)
+	}
+}
+
+func TestLeafPositionsOfLeafRef(t *testing.T) {
+	db := paperDB(t)
+	idx, _, _ := buildIndex(t, db, BuildOptions{})
+	var got []int64
+	if err := idx.LeafPositions(core.LeafRef(3), func(pos int64) bool {
+		got = append(got, pos)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCatalogLocate(t *testing.T) {
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "ACGT", "GG")
+	idx, _, _ := buildIndex(t, db, BuildOptions{})
+	cat := idx.Catalog()
+	si, off, err := cat.Locate(5)
+	if err != nil || si != 1 || off != 0 {
+		t.Fatalf("Locate(5) = %d,%d,%v", si, off, err)
+	}
+	if _, _, err := cat.Locate(-1); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, _, err := cat.Locate(100); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildStatsSpaceUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var strsCase []string
+	for i := 0; i < 20; i++ {
+		strsCase = append(strsCase, randomDNA(rng, 100+rng.Intn(200)))
+	}
+	db, err := seq.DatabaseFromStrings(seq.DNA, strsCase...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, st, _ := buildIndex(t, db, BuildOptions{})
+	if st.BytesPerSymbol <= 0 || st.BytesPerSymbol > 40 {
+		t.Fatalf("implausible bytes per symbol: %v", st.BytesPerSymbol)
+	}
+	if st.FileBytes < st.SymbolsBytes+st.InternalBytes+st.LeafBytes {
+		t.Fatalf("file smaller than its regions: %+v", st)
+	}
+	st2 := idx.Stats()
+	if st2.NumInternal != st.NumInternal || st2.SymbolsBytes != st.SymbolsBytes {
+		t.Fatalf("reader stats disagree with writer stats: %+v vs %+v", st2, st)
+	}
+}
+
+func TestSmallBlockSizes(t *testing.T) {
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "GATTACAGATTACA", "CCGG")
+	for _, bs := range []int{128, 256, 2048, 4096} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "idx")
+		if _, err := Build(path, db, BuildOptions{WriteOptions: WriteOptions{BlockSize: bs}}); err != nil {
+			t.Fatalf("block size %d: %v", bs, err)
+		}
+		pool := bufferpool.New(1<<20, bs)
+		idx, err := Open(path, pool)
+		if err != nil {
+			t.Fatalf("block size %d: %v", bs, err)
+		}
+		mem, _ := core.BuildMemoryIndex(db)
+		if collectTree(t, idx) != collectTree(t, mem) {
+			t.Fatalf("block size %d: tree mismatch", bs)
+		}
+		idx.Close()
+	}
+}
+
+func TestInvalidBlockSizeRejected(t *testing.T) {
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "ACGT")
+	dir := t.TempDir()
+	if _, err := Build(filepath.Join(dir, "x"), db, BuildOptions{WriteOptions: WriteOptions{BlockSize: 100}}); err == nil {
+		t.Fatal("expected error for non-multiple-of-16 block size")
+	}
+	if _, err := Build(filepath.Join(dir, "y"), db, BuildOptions{WriteOptions: WriteOptions{BlockSize: 48}}); err == nil {
+		t.Fatal("expected error for block size below header size")
+	}
+	if _, err := Build(filepath.Join(dir, "z"), nil, BuildOptions{}); err == nil {
+		t.Fatal("expected error for nil database")
+	}
+	if _, err := Write(filepath.Join(dir, "w"), nil, WriteOptions{}); err == nil {
+		t.Fatal("expected error for nil tree")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	pool := bufferpool.New(1<<20, 512)
+	if _, err := Open("/nonexistent/index", pool); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "ACGT")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx")
+	if _, err := Build(path, db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Fatal("expected error for nil pool")
+	}
+	// Corrupt the magic and confirm Open rejects it.
+	if err := corruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, pool); err == nil {
+		t.Fatal("expected error for corrupt header")
+	}
+}
+
+func TestBufferPoolStatsAttribution(t *testing.T) {
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "GATTACAGATTACAGATTACA", "CCGGAACCGGTT")
+	idx, _, pool := buildIndex(t, db, BuildOptions{})
+	// Fully traverse; leaf positions touch the internal and leaf regions
+	// (labels are lazy, so symbols are only read when materialised).
+	if err := idx.LeafPositions(idx.Root(), func(int64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats(idx.InternalFile()).Requests == 0 {
+		t.Fatal("no internal-node page requests recorded")
+	}
+	if pool.Stats(idx.LeavesFile()).Requests == 0 {
+		t.Fatal("no leaf page requests recorded")
+	}
+	if pool.Stats(idx.SymbolsFile()).Requests != 0 {
+		t.Fatal("LeafPositions should not read symbol pages (labels are lazy)")
+	}
+	// Materialising edge labels must hit the symbol region.
+	collectTree(t, idx)
+	if pool.Stats(idx.SymbolsFile()).Requests == 0 {
+		t.Fatal("no symbol page requests recorded after reading labels")
+	}
+}
+
+func TestVisitChildrenOnLeafIsNoop(t *testing.T) {
+	db := paperDB(t)
+	idx, _, _ := buildIndex(t, db, BuildOptions{})
+	called := false
+	if err := idx.VisitChildren(core.LeafRef(0), 0, func(core.NodeRef, core.EdgeLabel) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("leaf should have no children")
+	}
+}
+
+func TestWriteFromSortedTreeEquivalent(t *testing.T) {
+	db, _ := seq.DatabaseFromStrings(seq.DNA, "ACGTACGTAA", "GGCC")
+	tr1, err := suffixtree.BuildUkkonen(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := suffixtree.BuildSorted(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if _, err := Write(p1, tr1, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(p2, tr2, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(1<<20, 512)
+	i1, err := Open(p1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer i1.Close()
+	i2, err := Open(p2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer i2.Close()
+	if collectTree(t, i1) != collectTree(t, i2) {
+		t.Fatal("indexes from the two construction algorithms differ")
+	}
+}
+
+func corruptFile(path string) error {
+	f, err := openRW(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt([]byte("BADMAGIC"), 0)
+	return err
+}
+
+func randomDNA(rng *rand.Rand, n int) string {
+	letters := "ACGT"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(4)]
+	}
+	return string(b)
+}

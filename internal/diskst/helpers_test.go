@@ -1,0 +1,8 @@
+package diskst
+
+import "os"
+
+// openRW opens a file for read-write; test helper.
+func openRW(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0)
+}

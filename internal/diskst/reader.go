@@ -1,0 +1,380 @@
+package diskst
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/bufferpool"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Index is the disk-resident suffix tree opened for searching.  All node and
+// symbol accesses go through the buffer pool, so the cost of a search is
+// governed by the pool size exactly as in the paper's Figures 7 and 8.
+//
+// Index implements core.Index.
+type Index struct {
+	path string
+	file *os.File
+	pool *bufferpool.Pool
+	hdr  *header
+
+	symbolsFile  bufferpool.FileID
+	internalFile bufferpool.FileID
+	leavesFile   bufferpool.FileID
+
+	alphabet  *seq.Alphabet
+	seqIDs    []string
+	seqLens   []int64
+	seqStarts []int64 // start offset of each sequence in the symbol region
+	total     int64   // total residues
+}
+
+// Open maps an index file through the supplied buffer pool.
+func Open(path string, pool *bufferpool.Pool) (*Index, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("diskst: nil buffer pool")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdrBuf := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdrBuf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskst: reading header: %w", err)
+	}
+	hdr, err := decodeHeader(hdrBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	catBuf := make([]byte, hdr.catalogLen)
+	if _, err := f.ReadAt(catBuf, int64(hdr.catalogOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskst: reading catalog: %w", err)
+	}
+	ids, lens, err := decodeCatalog(catBuf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if uint64(len(ids)) != hdr.numSequences {
+		f.Close()
+		return nil, fmt.Errorf("diskst: catalog has %d sequences, header says %d", len(ids), hdr.numSequences)
+	}
+	idx := &Index{
+		path:     path,
+		file:     f,
+		pool:     pool,
+		hdr:      hdr,
+		alphabet: seq.Protein,
+		seqIDs:   ids,
+		seqLens:  lens,
+	}
+	if hdr.alphabetKind == 1 {
+		idx.alphabet = seq.DNA
+	}
+	idx.seqStarts = make([]int64, len(lens))
+	var off int64
+	for i, l := range lens {
+		idx.seqStarts[i] = off
+		off += l + 1 // terminator
+		idx.total += l
+	}
+	if uint64(off) != hdr.concatLen {
+		f.Close()
+		return nil, fmt.Errorf("diskst: catalog lengths sum to %d, header concatLen is %d", off, hdr.concatLen)
+	}
+	symbolsLen := int64(hdr.concatLen)
+	internalLen := int64(hdr.numInternal) * internalRecordSize
+	leavesLen := int64(hdr.concatLen) * leafRecordSize
+	idx.symbolsFile = pool.Register(path+"#symbols", io.NewSectionReader(f, int64(hdr.symbolsOff), symbolsLen), symbolsLen)
+	idx.internalFile = pool.Register(path+"#internal", io.NewSectionReader(f, int64(hdr.internalOff), internalLen), internalLen)
+	idx.leavesFile = pool.Register(path+"#leaves", io.NewSectionReader(f, int64(hdr.leavesOff), leavesLen), leavesLen)
+	return idx, nil
+}
+
+// Close releases the underlying file.  Pages already cached in the buffer
+// pool remain until evicted.
+func (x *Index) Close() error { return x.file.Close() }
+
+// Path returns the index file path.
+func (x *Index) Path() string { return x.path }
+
+// BlockSize returns the block size the index was written with.
+func (x *Index) BlockSize() int { return int(x.hdr.blockSize) }
+
+// NumInternal returns the number of internal nodes.
+func (x *Index) NumInternal() int64 { return int64(x.hdr.numInternal) }
+
+// NumLeaves returns the number of leaves (= concatenated length).
+func (x *Index) NumLeaves() int64 { return int64(x.hdr.concatLen) }
+
+// SymbolsFile, InternalFile and LeavesFile expose the buffer-pool file IDs of
+// the three index components so experiments can report per-component hit
+// ratios (Figure 8).
+func (x *Index) SymbolsFile() bufferpool.FileID  { return x.symbolsFile }
+func (x *Index) InternalFile() bufferpool.FileID { return x.internalFile }
+func (x *Index) LeavesFile() bufferpool.FileID   { return x.leavesFile }
+
+// Pool returns the buffer pool the index reads through.
+func (x *Index) Pool() *bufferpool.Pool { return x.pool }
+
+// readInternal fetches and decodes internal-node record i.
+func (x *Index) readInternal(i int64) (internalRecord, error) {
+	if i < 0 || uint64(i) >= x.hdr.numInternal {
+		return internalRecord{}, fmt.Errorf("diskst: internal node %d out of range", i)
+	}
+	var buf [internalRecordSize]byte
+	if err := x.pool.ReadAt(x.internalFile, buf[:], i*internalRecordSize); err != nil {
+		return internalRecord{}, err
+	}
+	return decodeInternalRecord(buf[:]), nil
+}
+
+// readLeafNext fetches the tagged next-sibling pointer of the leaf at suffix
+// position pos.
+func (x *Index) readLeafNext(pos int64) (uint32, error) {
+	if pos < 0 || uint64(pos) >= x.hdr.concatLen {
+		return 0, fmt.Errorf("diskst: leaf position %d out of range", pos)
+	}
+	var buf [leafRecordSize]byte
+	if err := x.pool.ReadAt(x.leavesFile, buf[:], pos*leafRecordSize); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// readSymbols fetches length symbols starting at global position pos.
+func (x *Index) readSymbols(pos, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	if pos < 0 || uint64(pos+length) > x.hdr.concatLen {
+		return nil, fmt.Errorf("diskst: symbol range [%d,%d) out of range", pos, pos+length)
+	}
+	buf := make([]byte, length)
+	if err := x.pool.ReadAt(x.symbolsFile, buf, pos); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// suffixEnd returns the exclusive end (one past the terminator) of the
+// suffix starting at pos.
+func (x *Index) suffixEnd(pos int64) (int64, error) {
+	i, _, err := x.locate(pos)
+	if err != nil {
+		return 0, err
+	}
+	return x.seqStarts[i] + x.seqLens[i] + 1, nil
+}
+
+func (x *Index) locate(pos int64) (int, int64, error) {
+	if pos < 0 || uint64(pos) >= x.hdr.concatLen {
+		return 0, 0, fmt.Errorf("diskst: position %d out of range", pos)
+	}
+	i := sort.Search(len(x.seqStarts), func(i int) bool { return x.seqStarts[i] > pos }) - 1
+	return i, pos - x.seqStarts[i], nil
+}
+
+// Root implements core.Index.
+func (x *Index) Root() core.NodeRef { return core.InternalRef(0) }
+
+// labelChunk is how many symbols a lazy edge label reads per buffer fill.
+// OASIS usually prunes or accepts after a handful of columns, so long leaf
+// edges are rarely read in full.
+const labelChunk = 64
+
+// lazyLabel is a core.EdgeLabel that reads symbols from the symbol region on
+// demand.  One instance is reused for every child visited in a single
+// VisitChildren call (the interface only guarantees validity within the
+// callback).
+type lazyLabel struct {
+	idx     *Index
+	start   int64 // global symbol position of the first label symbol
+	length  int
+	buf     []byte
+	bufFrom int
+	bufTo   int
+}
+
+func (l *lazyLabel) reset(start int64, length int) {
+	l.start = start
+	l.length = length
+	l.bufFrom = 0
+	l.bufTo = 0
+}
+
+// Len implements core.EdgeLabel.
+func (l *lazyLabel) Len() int { return l.length }
+
+// Symbols implements core.EdgeLabel.
+func (l *lazyLabel) Symbols(from, to int) ([]byte, error) {
+	if from < 0 || to > l.length || from > to {
+		return nil, fmt.Errorf("diskst: label range [%d,%d) out of bounds (len %d)", from, to, l.length)
+	}
+	if from == to {
+		return nil, nil
+	}
+	if from < l.bufFrom || to > l.bufTo {
+		readTo := from + labelChunk
+		if readTo < to {
+			readTo = to
+		}
+		if readTo > l.length {
+			readTo = l.length
+		}
+		need := readTo - from
+		if cap(l.buf) < need {
+			l.buf = make([]byte, need)
+		}
+		buf := l.buf[:need]
+		if err := l.idx.pool.ReadAt(l.idx.symbolsFile, buf, l.start+int64(from)); err != nil {
+			return nil, err
+		}
+		l.bufFrom, l.bufTo = from, readTo
+	}
+	return l.buf[from-l.bufFrom : to-l.bufFrom], nil
+}
+
+// VisitChildren implements core.Index: it walks the child chain of an
+// internal node — leaf children first (linked through the leaf array),
+// then internal children (physically adjacent, ended by the last-sibling
+// flag) — handing each child's edge label to fn.
+func (x *Index) VisitChildren(ref core.NodeRef, parentDepth int, fn func(child core.NodeRef, label core.EdgeLabel) error) error {
+	if ref.IsLeaf() {
+		return nil // leaves have no children
+	}
+	rec, err := x.readInternal(ref.InternalIndex())
+	if err != nil {
+		return err
+	}
+	label := &lazyLabel{idx: x}
+	cur := rec.firstChild
+	for cur != ptrNone {
+		if cur&ptrLeafBit != 0 {
+			pos := int64(cur & ptrMask)
+			end, err := x.suffixEnd(pos)
+			if err != nil {
+				return err
+			}
+			labelStart := pos + int64(parentDepth)
+			if labelStart > end {
+				return fmt.Errorf("diskst: corrupt index: leaf %d shallower than parent depth %d", pos, parentDepth)
+			}
+			label.reset(labelStart, int(end-labelStart))
+			if err := fn(core.LeafRef(pos), label); err != nil {
+				return err
+			}
+			next, err := x.readLeafNext(pos)
+			if err != nil {
+				return err
+			}
+			cur = next
+			continue
+		}
+		idx := int64(cur & ptrMask)
+		childRec, err := x.readInternal(idx)
+		if err != nil {
+			return err
+		}
+		edgeLen := int64(childRec.depth) - int64(parentDepth)
+		if edgeLen <= 0 {
+			return fmt.Errorf("diskst: corrupt index: child %d depth %d <= parent depth %d", idx, childRec.depth, parentDepth)
+		}
+		label.reset(int64(childRec.edgeStart), int(edgeLen))
+		if err := fn(core.InternalRef(idx), label); err != nil {
+			return err
+		}
+		if childRec.flags&flagLastSibling != 0 {
+			break
+		}
+		cur = taggedInternal(idx + 1)
+	}
+	return nil
+}
+
+// LeafPositions implements core.Index.
+func (x *Index) LeafPositions(ref core.NodeRef, fn func(pos int64) bool) error {
+	stop := false
+	var walk func(ref core.NodeRef, depth int) error
+	walk = func(ref core.NodeRef, depth int) error {
+		if stop {
+			return nil
+		}
+		if ref.IsLeaf() {
+			if !fn(ref.LeafPos()) {
+				stop = true
+			}
+			return nil
+		}
+		return x.VisitChildren(ref, depth, func(child core.NodeRef, label core.EdgeLabel) error {
+			return walk(child, depth+label.Len())
+		})
+	}
+	if ref.IsLeaf() {
+		return walk(ref, 0)
+	}
+	// The traversal needs the starting node's true path depth so that edge
+	// lengths (derived from depth differences) are computed correctly.
+	rec, err := x.readInternal(ref.InternalIndex())
+	if err != nil {
+		return err
+	}
+	return walk(ref, int(rec.depth))
+}
+
+// Catalog implements core.Index.
+func (x *Index) Catalog() core.Catalog { return (*diskCatalog)(x) }
+
+// diskCatalog exposes the catalog view of an Index.
+type diskCatalog Index
+
+func (c *diskCatalog) Alphabet() *seq.Alphabet { return c.alphabet }
+func (c *diskCatalog) NumSequences() int       { return len(c.seqIDs) }
+func (c *diskCatalog) SequenceID(i int) string { return c.seqIDs[i] }
+func (c *diskCatalog) SequenceLength(i int) int {
+	return int(c.seqLens[i])
+}
+func (c *diskCatalog) TotalResidues() int64 { return c.total }
+func (c *diskCatalog) Locate(pos int64) (int, int64, error) {
+	return (*Index)(c).locate(pos)
+}
+func (c *diskCatalog) Residues(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.seqIDs) {
+		return nil, fmt.Errorf("diskst: sequence index %d out of range", i)
+	}
+	return (*Index)(c).readSymbols(c.seqStarts[i], c.seqLens[i])
+}
+
+// Stats summarises the index regions; used by the space-utilisation table.
+func (x *Index) Stats() BuildStats {
+	internalLen := int64(x.hdr.numInternal) * internalRecordSize
+	leavesLen := int64(x.hdr.concatLen) * leafRecordSize
+	st := BuildStats{
+		NumSequences:  len(x.seqIDs),
+		TotalResidues: x.total,
+		ConcatLen:     int64(x.hdr.concatLen),
+		NumInternal:   int64(x.hdr.numInternal),
+		NumLeaves:     int64(x.hdr.concatLen),
+		SymbolsBytes:  int64(x.hdr.concatLen),
+		InternalBytes: internalLen,
+		LeafBytes:     leavesLen,
+		CatalogBytes:  int64(x.hdr.catalogLen),
+	}
+	if fi, err := os.Stat(x.path); err == nil {
+		st.FileBytes = fi.Size()
+		if x.total > 0 {
+			st.BytesPerSymbol = float64(fi.Size()) / float64(x.total)
+		}
+	}
+	return st
+}
+
+var _ core.Index = (*Index)(nil)

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/core"
+)
+
+// BenchmarkOASISDiskVsMemVsSW is a development aid for profiling the relative
+// cost of the three searchers on the experiment workload; run with
+// -cpuprofile to see where OASIS spends its time.
+func BenchmarkOASISDiskVsMemVsSW(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.TotalResidues = 300_000
+	cfg.NumQueries = 12
+	cfg.Dir = b.TempDir()
+	lab, err := NewLab(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	disk, _, err := lab.openIndex(lab.Config.BufferPoolBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer disk.Close()
+	mem, err := core.BuildMemoryIndex(lab.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, f func(q []byte, minScore int)) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := lab.Queries[i%len(lab.Queries)]
+			f(q.Residues, lab.minScoreFor(lab.Config.EValue, len(q.Residues)))
+		}
+	}
+	b.Run("oasis-disk", func(b *testing.B) {
+		run(b, func(q []byte, minScore int) {
+			if _, err := core.SearchAll(disk, q, core.Options{Scheme: lab.Scheme, MinScore: minScore}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("oasis-mem", func(b *testing.B) {
+		run(b, func(q []byte, minScore int) {
+			if _, err := core.SearchAll(mem, q, core.Options{Scheme: lab.Scheme, MinScore: minScore}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("sw", func(b *testing.B) {
+		run(b, func(q []byte, minScore int) {
+			if _, err := align.SearchDatabase(lab.DB, q, lab.Scheme, align.Options{MinScore: minScore}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+}

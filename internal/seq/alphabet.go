@@ -1,0 +1,205 @@
+// Package seq provides the sequence substrate used throughout the OASIS
+// reproduction: residue alphabets, encoded sequences, multi-sequence
+// databases with a concatenated symbol view, and FASTA input/output.
+//
+// All algorithms in this repository (Smith-Waterman, BLAST, the suffix tree
+// and OASIS itself) operate on encoded symbols: small integer codes in the
+// range [0, alphabet.Size()).  The special code Terminator marks the end of
+// a sequence inside the concatenated database view.
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Terminator is the encoded symbol code used to mark the end of a sequence
+// in the concatenated database view.  It is outside every alphabet.
+const Terminator byte = 0xFF
+
+// TerminatorChar is the character used to render the terminator symbol.
+const TerminatorChar byte = '$'
+
+// Alphabet maps between residue characters (e.g. 'A', 'R', 'N' ...) and the
+// compact codes used internally.  Alphabets are immutable after creation and
+// safe for concurrent use.
+type Alphabet struct {
+	name    string
+	letters []byte       // code -> character
+	codes   [256]int16   // character -> code, -1 when invalid
+	unknown byte         // code substituted for unknown characters
+	caseIns bool         // accept lower-case input characters
+	kind    AlphabetKind // protein or nucleotide
+}
+
+// AlphabetKind discriminates the two biological alphabets used by the paper.
+type AlphabetKind int
+
+const (
+	// KindProtein is the amino-acid alphabet (SWISS-PROT experiments).
+	KindProtein AlphabetKind = iota
+	// KindDNA is the nucleotide alphabet (Drosophila experiments).
+	KindDNA
+)
+
+// NewAlphabet builds an alphabet from the ordered set of letters.  The
+// unknown letter must be part of letters; characters outside the set are
+// encoded as the unknown code when Encode is called in lenient mode.
+func NewAlphabet(name string, letters string, unknown byte, kind AlphabetKind) (*Alphabet, error) {
+	if len(letters) == 0 {
+		return nil, fmt.Errorf("seq: alphabet %q has no letters", name)
+	}
+	if len(letters) >= int(Terminator) {
+		return nil, fmt.Errorf("seq: alphabet %q too large (%d letters)", name, len(letters))
+	}
+	a := &Alphabet{
+		name:    name,
+		letters: []byte(letters),
+		caseIns: true,
+		kind:    kind,
+	}
+	for i := range a.codes {
+		a.codes[i] = -1
+	}
+	for i := 0; i < len(letters); i++ {
+		c := letters[i]
+		if a.codes[c] != -1 {
+			return nil, fmt.Errorf("seq: alphabet %q repeats letter %q", name, c)
+		}
+		a.codes[c] = int16(i)
+		lower := c | 0x20
+		if lower != c && lower >= 'a' && lower <= 'z' {
+			a.codes[lower] = int16(i)
+		}
+	}
+	u := a.codes[unknown]
+	if u < 0 {
+		return nil, fmt.Errorf("seq: unknown letter %q not in alphabet %q", unknown, name)
+	}
+	a.unknown = byte(u)
+	return a, nil
+}
+
+// mustAlphabet panics on error; used only for the package-level constants.
+func mustAlphabet(name, letters string, unknown byte, kind AlphabetKind) *Alphabet {
+	a, err := NewAlphabet(name, letters, unknown, kind)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+var (
+	// Protein is the 20 standard amino acids plus B, Z and the unknown
+	// residue X, in the conventional NCBI ordering.
+	Protein = mustAlphabet("protein", "ARNDCQEGHILKMFPSTWYVBZX", 'X', KindProtein)
+
+	// DNA is the nucleotide alphabet with the ambiguity code N.
+	DNA = mustAlphabet("dna", "ACGTN", 'N', KindDNA)
+)
+
+// Name returns the alphabet's name ("protein" or "dna" for the built-ins).
+func (a *Alphabet) Name() string { return a.name }
+
+// Kind reports whether the alphabet is a protein or nucleotide alphabet.
+func (a *Alphabet) Kind() AlphabetKind { return a.kind }
+
+// Size returns the number of letters in the alphabet.
+func (a *Alphabet) Size() int { return len(a.letters) }
+
+// UnknownCode returns the code substituted for characters outside the
+// alphabet when encoding leniently.
+func (a *Alphabet) UnknownCode() byte { return a.unknown }
+
+// Letter returns the character for an encoded symbol.  The terminator code
+// renders as '$'.
+func (a *Alphabet) Letter(code byte) byte {
+	if code == Terminator {
+		return TerminatorChar
+	}
+	if int(code) >= len(a.letters) {
+		return '?'
+	}
+	return a.letters[code]
+}
+
+// Code returns the encoded symbol for a character and whether the character
+// belongs to the alphabet.
+func (a *Alphabet) Code(c byte) (byte, bool) {
+	v := a.codes[c]
+	if v < 0 {
+		return a.unknown, false
+	}
+	return byte(v), true
+}
+
+// Encode converts a residue string into encoded symbols.  Characters outside
+// the alphabet are mapped to the unknown code; whitespace is skipped.  An
+// error is returned only for characters that are neither residues,
+// whitespace nor digits (digits appear in some FASTA dialects and are
+// ignored).
+func (a *Alphabet) Encode(s string) ([]byte, error) {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			continue
+		case c >= '0' && c <= '9':
+			continue
+		case c == '*' || c == '-' || c == '.':
+			// Stop codons and gap characters are treated as unknown
+			// residues so that downstream scoring remains defined.
+			out = append(out, a.unknown)
+		default:
+			code, ok := a.Code(c)
+			if !ok && !isLetter(c) {
+				return nil, fmt.Errorf("seq: invalid character %q at position %d", c, i)
+			}
+			out = append(out, code)
+		}
+	}
+	return out, nil
+}
+
+// MustEncode is Encode that panics on invalid input.  Intended for tests and
+// literals.
+func (a *Alphabet) MustEncode(s string) []byte {
+	b, err := a.Encode(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode converts encoded symbols back into a residue string.
+func (a *Alphabet) Decode(codes []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(codes))
+	for _, c := range codes {
+		sb.WriteByte(a.Letter(c))
+	}
+	return sb.String()
+}
+
+// ValidCodes reports whether every symbol in codes is a valid residue code
+// for this alphabet (terminators are not valid residues).
+func (a *Alphabet) ValidCodes(codes []byte) bool {
+	for _, c := range codes {
+		if int(c) >= len(a.letters) {
+			return false
+		}
+	}
+	return true
+}
+
+// Letters returns a copy of the alphabet letters in code order.
+func (a *Alphabet) Letters() []byte {
+	out := make([]byte, len(a.letters))
+	copy(out, a.letters)
+	return out
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+}

@@ -1,0 +1,140 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProteinAlphabetRoundTrip(t *testing.T) {
+	in := "ARNDCQEGHILKMFPSTWYV"
+	enc, err := Protein.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Protein.Decode(enc); got != in {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestDNAAlphabetRoundTrip(t *testing.T) {
+	in := "ACGTACGTNN"
+	enc, err := DNA.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := DNA.Decode(enc); got != in {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestAlphabetLowercase(t *testing.T) {
+	enc, err := Protein.Encode("acde")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Protein.Decode(enc); got != "ACDE" {
+		t.Fatalf("lowercase decode = %q, want ACDE", got)
+	}
+}
+
+func TestAlphabetWhitespaceAndDigits(t *testing.T) {
+	enc, err := Protein.Encode("AC GT\n12\tDE")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Protein.Decode(enc); got != "ACGTDE" {
+		t.Fatalf("decode = %q, want ACGTDE", got)
+	}
+}
+
+func TestAlphabetUnknownMapping(t *testing.T) {
+	// 'J' and 'O' are not standard residues; they should map to X, not fail.
+	enc, err := Protein.Encode("AJO")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Protein.Decode(enc); got != "AXX" {
+		t.Fatalf("decode = %q, want AXX", got)
+	}
+	// Stop codon and gap characters map to unknown too.
+	enc, err = Protein.Encode("A*-.")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Protein.Decode(enc); got != "AXXX" {
+		t.Fatalf("decode = %q, want AXXX", got)
+	}
+}
+
+func TestAlphabetInvalidCharacter(t *testing.T) {
+	if _, err := Protein.Encode("AC#DE"); err == nil {
+		t.Fatal("expected error for '#'")
+	}
+	if _, err := DNA.Encode("ACG!T"); err == nil {
+		t.Fatal("expected error for '!'")
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	if Protein.Size() != 23 {
+		t.Fatalf("protein size = %d, want 23", Protein.Size())
+	}
+	if DNA.Size() != 5 {
+		t.Fatalf("dna size = %d, want 5", DNA.Size())
+	}
+	if Protein.Kind() != KindProtein || DNA.Kind() != KindDNA {
+		t.Fatal("alphabet kinds wrong")
+	}
+}
+
+func TestAlphabetTerminatorLetter(t *testing.T) {
+	if Protein.Letter(Terminator) != TerminatorChar {
+		t.Fatalf("terminator letter = %q", Protein.Letter(Terminator))
+	}
+	if !Protein.ValidCodes(Protein.MustEncode("ACD")) {
+		t.Fatal("valid codes reported invalid")
+	}
+	if Protein.ValidCodes([]byte{Terminator}) {
+		t.Fatal("terminator should not be a valid residue code")
+	}
+}
+
+func TestAlphabetDuplicateLetterRejected(t *testing.T) {
+	if _, err := NewAlphabet("bad", "AAC", 'A', KindDNA); err == nil {
+		t.Fatal("expected duplicate-letter error")
+	}
+	if _, err := NewAlphabet("bad", "", 'A', KindDNA); err == nil {
+		t.Fatal("expected empty-alphabet error")
+	}
+	if _, err := NewAlphabet("bad", "ACGT", 'Z', KindDNA); err == nil {
+		t.Fatal("expected unknown-not-in-alphabet error")
+	}
+}
+
+func TestAlphabetLettersCopy(t *testing.T) {
+	l := DNA.Letters()
+	l[0] = 'Z'
+	if DNA.Letters()[0] != 'A' {
+		t.Fatal("Letters() must return a copy")
+	}
+}
+
+// Property: decoding any encoded valid-letter string returns the upper-cased
+// original with non-alphabet letters replaced by the unknown residue.
+func TestEncodeDecodeProperty(t *testing.T) {
+	letters := Protein.Letters()
+	f := func(idxs []uint8) bool {
+		raw := make([]byte, len(idxs))
+		for i, v := range idxs {
+			raw[i] = letters[int(v)%len(letters)]
+		}
+		enc, err := Protein.Encode(string(raw))
+		if err != nil {
+			return false
+		}
+		return Protein.Decode(enc) == string(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// FASTAReader reads sequences from FASTA-formatted input and encodes them
+// with a fixed alphabet.
+type FASTAReader struct {
+	r        *bufio.Reader
+	alphabet *Alphabet
+	pending  string // header of the next record, already consumed
+	done     bool
+	line     int
+}
+
+// NewFASTAReader returns a reader that decodes FASTA records from r using
+// the alphabet.
+func NewFASTAReader(r io.Reader, a *Alphabet) *FASTAReader {
+	return &FASTAReader{r: bufio.NewReaderSize(r, 1<<16), alphabet: a}
+}
+
+// Read returns the next sequence, or io.EOF when the input is exhausted.
+func (fr *FASTAReader) Read() (Sequence, error) {
+	if fr.done {
+		return Sequence{}, io.EOF
+	}
+	header := fr.pending
+	fr.pending = ""
+	var body strings.Builder
+	for {
+		line, err := fr.r.ReadString('\n')
+		fr.line++
+		line = strings.TrimRight(line, "\r\n")
+		if len(line) > 0 {
+			if line[0] == '>' {
+				if header == "" {
+					header = line[1:]
+					if err == io.EOF {
+						fr.done = true
+						return fr.finish(header, body.String())
+					}
+					continue
+				}
+				fr.pending = line[1:]
+				return fr.finish(header, body.String())
+			}
+			if line[0] == ';' {
+				// Comment line (legacy FASTA); skip.
+			} else if header == "" {
+				return Sequence{}, fmt.Errorf("seq: fasta line %d: residue data before any header", fr.line)
+			} else {
+				body.WriteString(line)
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return Sequence{}, err
+			}
+			fr.done = true
+			if header == "" {
+				return Sequence{}, io.EOF
+			}
+			return fr.finish(header, body.String())
+		}
+	}
+}
+
+func (fr *FASTAReader) finish(header, body string) (Sequence, error) {
+	id, desc := splitHeader(header)
+	return NewSequence(fr.alphabet, id, desc, body)
+}
+
+// ReadAll reads every remaining record.
+func (fr *FASTAReader) ReadAll() ([]Sequence, error) {
+	var out []Sequence
+	for {
+		s, err := fr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func splitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+// ReadFASTAFile loads an entire FASTA file into a Database.
+func ReadFASTAFile(path string, a *Alphabet) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := NewFASTAReader(f, a).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("seq: reading %s: %w", path, err)
+	}
+	return NewDatabase(a, seqs)
+}
+
+// WriteFASTA writes sequences in FASTA format with the given line width
+// (0 means a single line per sequence).
+func WriteFASTA(w io.Writer, a *Alphabet, seqs []Sequence, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if s.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		text := s.String(a)
+		if width <= 0 {
+			bw.WriteString(text)
+			bw.WriteByte('\n')
+			continue
+		}
+		for len(text) > 0 {
+			n := width
+			if n > len(text) {
+				n = len(text)
+			}
+			bw.WriteString(text[:n])
+			bw.WriteByte('\n')
+			text = text[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes a database to a FASTA file.
+func WriteFASTAFile(path string, db *Database, width int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFASTA(f, db.Alphabet(), db.Sequences(), width); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,162 @@
+package seq
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleFASTA = `>sp|P1|PROT1 first protein
+ARNDCQEG
+HILKMFPS
+>sp|P2|PROT2 second protein
+TWYV
+; a legacy comment line
+ACDE
+>sp|P3|PROT3
+GG
+`
+
+func TestFASTAReaderBasic(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader(sampleFASTA), Protein)
+	seqs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("got %d sequences, want 3", len(seqs))
+	}
+	if seqs[0].ID != "sp|P1|PROT1" || seqs[0].Description != "first protein" {
+		t.Fatalf("header parse wrong: %+v", seqs[0])
+	}
+	if got := seqs[0].String(Protein); got != "ARNDCQEGHILKMFPS" {
+		t.Fatalf("seq0 = %q", got)
+	}
+	if got := seqs[1].String(Protein); got != "TWYVACDE" {
+		t.Fatalf("seq1 = %q (comment line not skipped?)", got)
+	}
+	if got := seqs[2].String(Protein); got != "GG" {
+		t.Fatalf("seq2 = %q", got)
+	}
+	if seqs[2].Description != "" {
+		t.Fatalf("seq2 description = %q, want empty", seqs[2].Description)
+	}
+}
+
+func TestFASTAReaderEOFAfterRead(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader(">a\nACGT\n"), DNA)
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFASTAReaderNoTrailingNewline(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader(">a\nACGT"), DNA)
+	s, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String(DNA) != "ACGT" {
+		t.Fatalf("got %q", s.String(DNA))
+	}
+}
+
+func TestFASTAReaderCRLF(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader(">a desc here\r\nAC\r\nGT\r\n"), DNA)
+	s, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String(DNA) != "ACGT" || s.Description != "desc here" {
+		t.Fatalf("got %q %q", s.String(DNA), s.Description)
+	}
+}
+
+func TestFASTAReaderDataBeforeHeader(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader("ACGT\n>a\nACGT\n"), DNA)
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected error for residue data before header")
+	}
+}
+
+func TestFASTAReaderEmpty(t *testing.T) {
+	r := NewFASTAReader(strings.NewReader(""), DNA)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFASTAWriteReadRoundTrip(t *testing.T) {
+	db := MustDatabase(Protein, []Sequence{
+		{ID: "p1", Description: "alpha", Residues: Protein.MustEncode("ARNDCQEGHILKMFPSTWYV")},
+		{ID: "p2", Residues: Protein.MustEncode("MKT")},
+	})
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, Protein, db.Sequences(), 8); err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewFASTAReader(bytes.NewReader(buf.Bytes()), Protein).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d sequences", len(back))
+	}
+	for i := range back {
+		if back[i].ID != db.Sequence(i).ID {
+			t.Fatalf("id mismatch %q vs %q", back[i].ID, db.Sequence(i).ID)
+		}
+		if back[i].String(Protein) != db.Sequence(i).String(Protein) {
+			t.Fatalf("residue mismatch for %s", back[i].ID)
+		}
+	}
+}
+
+func TestFASTAFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.fasta")
+	db := MustDatabase(DNA, []Sequence{
+		{ID: "chr1", Residues: DNA.MustEncode("ACGTACGTACGT")},
+		{ID: "chr2", Residues: DNA.MustEncode("GGGGCCCC")},
+	})
+	if err := WriteFASTAFile(path, db, 5); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTAFile(path, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSequences() != 2 || back.TotalResidues() != db.TotalResidues() {
+		t.Fatalf("round trip mismatch: %d seqs %d residues", back.NumSequences(), back.TotalResidues())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFASTAFileMissing(t *testing.T) {
+	if _, err := ReadFASTAFile("/nonexistent/no.fasta", DNA); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSequenceCloneIndependent(t *testing.T) {
+	s := Sequence{ID: "a", Residues: DNA.MustEncode("ACGT")}
+	c := s.Clone()
+	c.Residues[0] = 3
+	if s.Residues[0] == 3 {
+		t.Fatal("clone shares storage")
+	}
+	if s.Len() != 4 {
+		t.Fatal("len wrong")
+	}
+	if string(s.Slice(1, 3)) != string(DNA.MustEncode("CG")) {
+		t.Fatal("slice wrong")
+	}
+}

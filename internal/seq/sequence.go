@@ -1,0 +1,43 @@
+package seq
+
+import (
+	"fmt"
+)
+
+// Sequence is a single biological sequence: an identifier, an optional
+// description and the encoded residues.
+type Sequence struct {
+	// ID is the accession or identifier of the sequence (FASTA header up
+	// to the first whitespace).
+	ID string
+	// Description is the remainder of the FASTA header, if any.
+	Description string
+	// Residues holds the encoded symbols (alphabet codes, no terminator).
+	Residues []byte
+}
+
+// NewSequence encodes residues with the alphabet and returns the sequence.
+func NewSequence(a *Alphabet, id, description, residues string) (Sequence, error) {
+	enc, err := a.Encode(residues)
+	if err != nil {
+		return Sequence{}, fmt.Errorf("seq: sequence %q: %w", id, err)
+	}
+	return Sequence{ID: id, Description: description, Residues: enc}, nil
+}
+
+// Len returns the number of residues in the sequence.
+func (s Sequence) Len() int { return len(s.Residues) }
+
+// String renders the sequence residues using the given alphabet.
+func (s Sequence) String(a *Alphabet) string { return a.Decode(s.Residues) }
+
+// Slice returns the residues in [from, to) without copying.  It panics if
+// the bounds are invalid, mirroring Go slice semantics.
+func (s Sequence) Slice(from, to int) []byte { return s.Residues[from:to] }
+
+// Clone returns a deep copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	r := make([]byte, len(s.Residues))
+	copy(r, s.Residues)
+	return Sequence{ID: s.ID, Description: s.Description, Residues: r}
+}

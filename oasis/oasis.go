@@ -1,0 +1,299 @@
+// Package oasis is the public API of the OASIS reproduction: an online and
+// accurate local-alignment search over biological sequence databases, driven
+// by a (disk-resident or in-memory) generalized suffix tree, as described in
+// Meek, Patel & Kasetty, "OASIS: An Online and Accurate Technique for
+// Local-alignment Searches on Biological Sequences", VLDB 2003.
+//
+// Typical use:
+//
+//	db, _ := oasis.LoadFASTA("swissprot.fasta", oasis.Protein)
+//	idx, _ := oasis.NewMemoryIndex(db)                 // or BuildDiskIndex/OpenDiskIndex
+//	scheme := oasis.Scheme{Matrix: oasis.MatrixByName("PAM30"), Gap: -10}
+//	opts, _ := oasis.NewSearchOptions(scheme, db, query, oasis.WithEValue(20000))
+//	err := oasis.Search(idx, query, opts, func(h oasis.Hit) bool {
+//	    fmt.Println(h.SeqID, h.Score)  // hits arrive in decreasing score order
+//	    return true                    // return false to stop early (online top-k)
+//	})
+//
+// The package also exposes the two baselines of the paper's evaluation —
+// exact Smith-Waterman search and a BLAST-style heuristic search — so that
+// results and costs can be compared on the same data.
+package oasis
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/blast"
+	"repro/internal/bufferpool"
+	"repro/internal/core"
+	"repro/internal/diskst"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// Re-exported sequence types.
+type (
+	// Alphabet maps residue characters to compact symbol codes.
+	Alphabet = seq.Alphabet
+	// Sequence is an identified, encoded biological sequence.
+	Sequence = seq.Sequence
+	// Database is an immutable collection of sequences over one alphabet.
+	Database = seq.Database
+)
+
+// Built-in alphabets.
+var (
+	// Protein is the amino-acid alphabet.
+	Protein = seq.Protein
+	// DNA is the nucleotide alphabet.
+	DNA = seq.DNA
+)
+
+// Re-exported scoring types.
+type (
+	// Matrix is a substitution matrix.
+	Matrix = score.Matrix
+	// Scheme bundles a matrix with a linear gap penalty.
+	Scheme = score.Scheme
+	// KarlinAltschul holds E-value statistics (paper Equations 2-3).
+	KarlinAltschul = score.KarlinAltschul
+)
+
+// Re-exported search types.
+type (
+	// Hit is one reported database sequence with its optimal score.
+	Hit = core.Hit
+	// SearchStats counts the work done by an OASIS search.
+	SearchStats = core.Stats
+	// Index is the suffix-tree view OASIS searches over.
+	Index = core.Index
+	// MemoryIndex is the in-memory index implementation.
+	MemoryIndex = core.MemoryIndex
+	// Alignment is a full traceback of one local alignment.
+	Alignment = align.Alignment
+)
+
+// MatrixByName returns a built-in substitution matrix ("BLOSUM62", "PAM30",
+// "PAM70", "PAM250", "UNIT", "BLASTN"), or nil for unknown names.
+func MatrixByName(name string) *Matrix { return score.ByName(name) }
+
+// NewScheme validates and returns a scoring scheme (gap must be negative).
+func NewScheme(m *Matrix, gap int) (Scheme, error) { return score.NewScheme(m, gap) }
+
+// LoadFASTA reads a FASTA file into a database using the given alphabet.
+func LoadFASTA(path string, a *Alphabet) (*Database, error) { return seq.ReadFASTAFile(path, a) }
+
+// NewDatabase builds a database from already-encoded sequences.
+func NewDatabase(a *Alphabet, seqs []Sequence) (*Database, error) { return seq.NewDatabase(a, seqs) }
+
+// NewMemoryIndex builds an in-memory suffix-tree index (Ukkonen
+// construction) over the database.
+func NewMemoryIndex(db *Database) (*MemoryIndex, error) { return core.BuildMemoryIndex(db) }
+
+// IndexBuildOptions configures disk-index construction.
+type IndexBuildOptions struct {
+	// BlockSize is the disk block size in bytes (default 2048, the paper's
+	// value).
+	BlockSize int
+	// Partitioned selects the Hunt-style partitioned construction (one
+	// pass per prefix partition) instead of in-memory Ukkonen.
+	Partitioned bool
+	// PrefixLen is the partition prefix length (1 or 2) when Partitioned.
+	PrefixLen int
+}
+
+// IndexStats reports the size of a disk index (the paper's space-utilisation
+// table).
+type IndexStats = diskst.BuildStats
+
+// BuildDiskIndex constructs the suffix tree for db and writes the paper's
+// disk representation to path.
+func BuildDiskIndex(path string, db *Database, opts IndexBuildOptions) (*IndexStats, error) {
+	return diskst.Build(path, db, diskst.BuildOptions{
+		WriteOptions: diskst.WriteOptions{BlockSize: opts.BlockSize},
+		Partitioned:  opts.Partitioned,
+		PrefixLen:    opts.PrefixLen,
+	})
+}
+
+// DiskIndex is a disk-resident index read through a buffer pool.
+type DiskIndex struct {
+	*diskst.Index
+	pool *bufferpool.Pool
+}
+
+// OpenDiskIndex opens an index file with a buffer pool of the given capacity
+// in bytes (the paper's default block size is used for the pool's pages).
+func OpenDiskIndex(path string, bufferPoolBytes int64) (*DiskIndex, error) {
+	if bufferPoolBytes <= 0 {
+		bufferPoolBytes = 256 << 20 // the paper's default 256 MB pool
+	}
+	pool := bufferpool.New(bufferPoolBytes, 0)
+	idx, err := diskst.Open(path, pool)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pool: pool}, nil
+}
+
+// OpenDiskIndexWithPool opens an index through an existing buffer pool
+// (several indexes may share one pool).
+func OpenDiskIndexWithPool(path string, pool *bufferpool.Pool) (*DiskIndex, error) {
+	idx, err := diskst.Open(path, pool)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{Index: idx, pool: pool}, nil
+}
+
+// BufferPool returns the pool the index reads through (for statistics).
+func (d *DiskIndex) BufferPool() *bufferpool.Pool { return d.pool }
+
+// SearchOptions configures an OASIS search.
+type SearchOptions struct {
+	// Scheme is the substitution matrix and gap penalty.
+	Scheme Scheme
+	// MinScore is the minimum alignment score to report (>= 1).
+	MinScore int
+	// MaxResults stops after this many sequences (0 = all); combined with
+	// the online score ordering this yields exact top-k search.
+	MaxResults int
+	// KA attaches E-values to hits when non-nil.
+	KA *KarlinAltschul
+	// Stats accumulates work counters when non-nil.
+	Stats *SearchStats
+}
+
+// SearchOption mutates SearchOptions in NewSearchOptions.
+type SearchOption func(*SearchOptions, searchContext) error
+
+type searchContext struct {
+	dbLen    int64
+	queryLen int
+}
+
+// WithMinScore sets an explicit score threshold.
+func WithMinScore(minScore int) SearchOption {
+	return func(o *SearchOptions, _ searchContext) error {
+		o.MinScore = minScore
+		return nil
+	}
+}
+
+// WithEValue converts an E-value threshold into the equivalent MinScore
+// using Karlin-Altschul statistics (paper Equation 3) and attaches E-values
+// to reported hits.
+func WithEValue(eValue float64) SearchOption {
+	return func(o *SearchOptions, ctx searchContext) error {
+		ka, err := score.Params(o.Scheme.Matrix, nil)
+		if err != nil {
+			return err
+		}
+		o.KA = &ka
+		o.MinScore = ka.MinScore(eValue, ctx.queryLen, ctx.dbLen)
+		return nil
+	}
+}
+
+// WithMaxResults limits the number of reported sequences (top-k).
+func WithMaxResults(k int) SearchOption {
+	return func(o *SearchOptions, _ searchContext) error {
+		o.MaxResults = k
+		return nil
+	}
+}
+
+// WithStats attaches a stats collector.
+func WithStats(st *SearchStats) SearchOption {
+	return func(o *SearchOptions, _ searchContext) error {
+		o.Stats = st
+		return nil
+	}
+}
+
+// NewSearchOptions assembles search options for a query against a database
+// (the database size is needed to convert E-values into score thresholds).
+func NewSearchOptions(scheme Scheme, db *Database, query []byte, opts ...SearchOption) (SearchOptions, error) {
+	if err := scheme.Validate(); err != nil {
+		return SearchOptions{}, err
+	}
+	o := SearchOptions{Scheme: scheme, MinScore: 1}
+	ctx := searchContext{queryLen: len(query)}
+	if db != nil {
+		ctx.dbLen = db.TotalResidues()
+	}
+	for _, opt := range opts {
+		if err := opt(&o, ctx); err != nil {
+			return SearchOptions{}, err
+		}
+	}
+	return o, nil
+}
+
+// Search runs the OASIS algorithm and streams hits to report in decreasing
+// score order; return false from report to stop early.
+func Search(idx Index, query []byte, opts SearchOptions, report func(Hit) bool) error {
+	return core.Search(idx, query, core.Options{
+		Scheme:     opts.Scheme,
+		MinScore:   opts.MinScore,
+		MaxResults: opts.MaxResults,
+		KA:         opts.KA,
+		Stats:      opts.Stats,
+	}, report)
+}
+
+// SearchAll runs Search and collects every hit.
+func SearchAll(idx Index, query []byte, opts SearchOptions) ([]Hit, error) {
+	var hits []Hit
+	err := Search(idx, query, opts, func(h Hit) bool {
+		hits = append(hits, h)
+		return true
+	})
+	return hits, err
+}
+
+// RecoverAlignment reconstructs the full alignment (coordinates, operations,
+// identity) for a hit reported by Search.
+func RecoverAlignment(idx Index, query []byte, scheme Scheme, h Hit) (Alignment, error) {
+	return core.RecoverAlignment(idx, query, scheme, h)
+}
+
+// SmithWaterman runs the exact quadratic-time baseline over every sequence
+// of the database and returns the best hit per sequence with score at least
+// minScore, in decreasing score order.
+func SmithWaterman(db *Database, query []byte, scheme Scheme, minScore int) ([]align.Hit, error) {
+	return align.SearchDatabase(db, query, scheme, align.Options{MinScore: minScore})
+}
+
+// BLASTOptions configures the heuristic baseline searcher.
+type BLASTOptions = blast.Options
+
+// BLASTHit is a hit reported by the heuristic baseline.
+type BLASTHit = blast.Hit
+
+// BLAST is the word-seeded heuristic searcher (baseline).
+type BLAST = blast.Searcher
+
+// NewBLAST builds the heuristic searcher's word index over the database.
+func NewBLAST(db *Database, scheme Scheme, opts BLASTOptions) (*BLAST, error) {
+	return blast.NewSearcher(db, scheme, opts)
+}
+
+// EValueStatistics computes Karlin-Altschul parameters for a matrix under
+// the standard background frequencies.
+func EValueStatistics(m *Matrix) (KarlinAltschul, error) { return score.Params(m, nil) }
+
+// MinScoreForEValue converts an E-value threshold into the minimum raw
+// alignment score for a query of length queryLen against a database of
+// dbResidues total residues (paper Equation 3).
+func MinScoreForEValue(m *Matrix, eValue float64, queryLen int, dbResidues int64) (int, error) {
+	ka, err := score.Params(m, nil)
+	if err != nil {
+		return 0, err
+	}
+	if queryLen <= 0 || dbResidues <= 0 {
+		return 0, fmt.Errorf("oasis: query length and database size must be positive")
+	}
+	return ka.MinScore(eValue, queryLen, dbResidues), nil
+}
