@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskst"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/suffixtree"
 	"repro/internal/workload"
 	"repro/oasis"
@@ -391,6 +392,68 @@ func BenchmarkAblationBLASTTwoHit(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- Sharded parallel search -----------------------------------------------
+
+// BenchmarkShardedSearch measures workload throughput through the sharded
+// engine (one searcher per partition, order-preserving merge) at increasing
+// shard counts.  The shards=1 case is the single-index baseline for the
+// speedup comparison; real scaling requires >1 CPU (the merge preserves the
+// decreasing-score guarantee, so on a single core the sharded engine pays
+// duplicated near-root expansion with no parallelism to offset it).
+func BenchmarkShardedSearch(b *testing.B) {
+	l, _ := benchLab(b)
+	for _, nShards := range []int{1, 2, 4, 8} {
+		nShards := nShards
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			engine, err := shard.NewEngine(l.DB, shard.Options{Shards: nShards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := benchQueries(l, 0)
+			var st core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
+				if _, err := engine.SearchAll(q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore, Stats: &st}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.ColumnsExpanded)/float64(b.N), "columns/query")
+			b.ReportMetric(float64(st.CellsComputed)/float64(b.N), "cells/query")
+		})
+	}
+}
+
+// BenchmarkLiveBandKernel quantifies the live-band DP kernel: the band
+// sub-benchmark runs the standard search, full-sweep disables the band and
+// touches every cell of every expanded column (the pre-band behaviour).
+func BenchmarkLiveBandKernel(b *testing.B) {
+	l, mem := benchLab(b)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"band", false}, {"full-sweep", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			qs := benchQueries(l, 0)
+			var st core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
+				if _, err := core.SearchAll(mem, q.Residues, core.Options{
+					Scheme: l.Scheme, MinScore: minScore, Stats: &st, DisableLiveBand: mode.full,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.CellsComputed)/float64(b.N), "cells/query")
+			b.ReportMetric(float64(st.ColumnsExpanded)/float64(b.N), "columns/query")
 		})
 	}
 }

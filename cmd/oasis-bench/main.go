@@ -1,16 +1,24 @@
 // Command oasis-bench regenerates every table and figure of the paper's
 // evaluation on the synthetic workload (see DESIGN.md Section 6 for the
-// experiment index).
+// experiment index), plus the repo's own performance experiments: the
+// sharded parallel engine and the live-band DP kernel ablation.
+//
+// Each run also emits a machine-readable benchmark report (default
+// BENCH_oasis.json) with per-measurement ns/op and the paper's work
+// counters, so the performance trajectory is tracked across changes.
 //
 //	oasis-bench -exp all -residues 2000000 -queries 100
 //	oasis-bench -exp fig7,fig8 -residues 4000000
 //	oasis-bench -exp fig9 -query DKDGDGCITTKEL
+//	oasis-bench -exp sharded,liveband -shards 1,2,4,8 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -19,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9 or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband or all")
 		residues = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries  = flag.Int("queries", 60, "number of motif queries")
 		eValue   = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -30,6 +38,9 @@ func main() {
 		seed     = flag.Int64("seed", 1309, "workload seed")
 		queryStr = flag.String("query", "", "explicit query for fig9 (defaults to a ~13-residue workload query)")
 		dir      = flag.String("dir", "", "directory for index files (default: temp dir, removed afterwards)")
+		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp sharded")
+		workers  = flag.Int("workers", 0, "worker-pool bound for the sharded engine (0 = one per shard)")
+		jsonPath = flag.String("json", "BENCH_oasis.json", "machine-readable benchmark report path (empty = skip)")
 	)
 	flag.Parse()
 
@@ -44,13 +55,36 @@ func main() {
 		Seed:            *seed,
 		Dir:             *dir,
 	}
-	if err := run(cfg, *exps, *queryStr); err != nil {
+	shardCounts, err := parseShardCounts(*shards)
+	if err == nil {
+		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, exps, queryStr string) error {
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts in %q", s)
+	}
+	return out, nil
+}
+
+func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string) error {
 	selected := map[string]bool{}
 	for _, e := range strings.Split(exps, ",") {
 		selected[strings.TrimSpace(strings.ToLower(e))] = true
@@ -66,6 +100,13 @@ func run(cfg experiments.Config, exps, queryStr string) error {
 	fmt.Println(lab.Summary())
 	fmt.Println()
 
+	report := experiments.BenchReport{
+		Residues:   lab.DB.TotalResidues(),
+		NumQueries: len(lab.Queries),
+		EValue:     lab.Config.EValue,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
 	out := os.Stdout
 	if want("space") {
 		experiments.RenderSpace(out, experiments.TableSpace(lab))
@@ -76,6 +117,13 @@ func run(cfg experiments.Config, exps, queryStr string) error {
 			return err
 		}
 		experiments.RenderFigure3(out, rows)
+		var total float64
+		for _, r := range rows {
+			total += float64(r.OASISTime) * float64(r.NumQueries)
+		}
+		report.Records = append(report.Records, experiments.BenchRecord{
+			Name: "fig3/oasis-mem", NsPerOp: total / float64(len(lab.Queries)),
+		})
 	}
 	if want("fig4") {
 		rows, err := experiments.Figure4(lab)
@@ -122,6 +170,53 @@ func run(cfg experiments.Config, exps, queryStr string) error {
 			return err
 		}
 		experiments.RenderFigure9(out, rows)
+	}
+	if want("sharded") {
+		rows, err := experiments.Sharded(lab, shardCounts, workers)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSharded(out, rows)
+		for _, r := range rows {
+			report.Records = append(report.Records, experiments.BenchRecord{
+				Name:            fmt.Sprintf("sharded/shards=%d", r.Shards),
+				NsPerOp:         float64(r.QueryTime),
+				ColumnsExpanded: r.ColumnsExpanded,
+				CellsComputed:   r.CellsComputed,
+				Extra: map[string]float64{
+					"speedup": r.Speedup,
+					"workers": float64(r.Workers),
+					"hits":    float64(r.Hits),
+				},
+			})
+		}
+	}
+	if want("liveband") {
+		row, err := experiments.LiveBand(lab)
+		if err != nil {
+			return err
+		}
+		experiments.RenderLiveBand(out, row)
+		report.Records = append(report.Records,
+			experiments.BenchRecord{
+				Name:            "liveband/band",
+				NsPerOp:         float64(row.BandTime),
+				ColumnsExpanded: row.Columns,
+				CellsComputed:   row.BandCells,
+				Extra:           map[string]float64{"cell_fraction": row.CellFraction, "hits": float64(row.Hits)},
+			},
+			experiments.BenchRecord{
+				Name:            "liveband/full-sweep",
+				NsPerOp:         float64(row.FullTime),
+				ColumnsExpanded: row.Columns,
+				CellsComputed:   row.FullCells,
+			})
+	}
+	if jsonPath != "" && len(report.Records) > 0 {
+		if err := experiments.WriteBenchJSON(jsonPath, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d records)\n", jsonPath, len(report.Records))
 	}
 	return nil
 }

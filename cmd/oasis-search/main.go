@@ -11,6 +11,9 @@
 //
 //	# Heuristic BLAST-style baseline
 //	oasis-search -db swissprot.fasta -algo blast -queryfile peptides.fasta
+//
+//	# Sharded parallel OASIS over an in-memory index built from FASTA
+//	oasis-search -db swissprot.fasta -shards 8 -workers 4 -query DKDGDGCITTKEL
 package main
 
 import (
@@ -36,6 +39,8 @@ type config struct {
 	minScore  int
 	top       int
 	poolMB    int64
+	shards    int
+	workers   int
 	verbose   bool
 }
 
@@ -53,6 +58,8 @@ func main() {
 	flag.IntVar(&cfg.minScore, "minscore", 0, "explicit minimum score (overrides -evalue)")
 	flag.IntVar(&cfg.top, "top", 0, "report only the top-k sequences (0 = all)")
 	flag.Int64Var(&cfg.poolMB, "pool", 256, "buffer pool size in MB (for -algo oasis)")
+	flag.IntVar(&cfg.shards, "shards", 0, "search a sharded in-memory index with this many partitions (requires -db; 0 = use -index)")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent shard searches for -shards (0 = one per shard)")
 	flag.BoolVar(&cfg.verbose, "v", false, "print full alignments")
 	flag.Parse()
 
@@ -86,6 +93,9 @@ func run(cfg config) error {
 	}
 	switch cfg.algo {
 	case "oasis":
+		if cfg.shards > 0 {
+			return runSharded(cfg, alpha, scheme, queries)
+		}
 		return runOASIS(cfg, scheme, queries)
 	case "sw":
 		return runSW(cfg, alpha, scheme, queries)
@@ -158,6 +168,59 @@ func runOASIS(cfg config, scheme oasis.Scheme, queries []oasis.Sequence) error {
 		}
 		fmt.Printf("# %d sequences in %s; %d columns expanded, %d nodes expanded\n\n",
 			n, time.Since(start).Round(time.Microsecond), st.ColumnsExpanded, st.NodesExpanded)
+	}
+	return nil
+}
+
+// runSharded builds a sharded in-memory engine from the FASTA database and
+// searches every query through the order-preserving parallel merge.
+func runSharded(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries []oasis.Sequence) error {
+	if cfg.dbPath == "" {
+		return fmt.Errorf("-db is required for -shards (the sharded engine indexes in memory)")
+	}
+	db, err := oasis.LoadFASTA(cfg.dbPath, alpha)
+	if err != nil {
+		return err
+	}
+	build := time.Now()
+	idx, err := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: cfg.shards, Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# sharded index: %d shards, %d workers, built in %s\n",
+		idx.NumShards(), idx.Workers(), time.Since(build).Round(time.Millisecond))
+	for _, q := range queries {
+		minScore := cfg.minScore
+		var ka *oasis.KarlinAltschul
+		if minScore <= 0 {
+			stats, err := oasis.EValueStatistics(scheme.Matrix)
+			if err != nil {
+				return err
+			}
+			ka = &stats
+			minScore = stats.MinScore(cfg.eValue, q.Len(), db.TotalResidues())
+		}
+		var st oasis.SearchStats
+		opts := oasis.SearchOptions{Scheme: scheme, MinScore: minScore, MaxResults: cfg.top, KA: ka, Stats: &st}
+		fmt.Printf("# query %s (%d residues), minScore %d\n", q.ID, q.Len(), minScore)
+		start := time.Now()
+		n := 0
+		err := idx.Search(q.Residues, opts, func(h oasis.Hit) bool {
+			n++
+			fmt.Printf("%4d  %-24s score=%-6d E=%-12.3g qEnd=%-4d tEnd=%-6d t=%s\n",
+				h.Rank, h.SeqID, h.Score, h.EValue, h.QueryEnd, h.TargetEnd, time.Since(start).Round(time.Microsecond))
+			if cfg.verbose {
+				if a, err := idx.RecoverAlignment(q.Residues, scheme, h); err == nil {
+					fmt.Print(a.Format(db.Alphabet(), q.Residues, db.Sequence(h.SeqIndex).Residues))
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d sequences in %s; %d columns expanded, %d cells, %d nodes expanded\n\n",
+			n, time.Since(start).Round(time.Microsecond), st.ColumnsExpanded, st.CellsComputed, st.NodesExpanded)
 	}
 	return nil
 }

@@ -13,7 +13,13 @@ import (
 // reports each sequence's optimal score, the recovered alignment has exactly
 // the hit's score.
 func RecoverAlignment(idx Index, query []byte, sch score.Scheme, h Hit) (align.Alignment, error) {
-	cat := idx.Catalog()
+	return RecoverAlignmentCatalog(idx.Catalog(), query, sch, h)
+}
+
+// RecoverAlignmentCatalog is RecoverAlignment against a bare sequence
+// catalog; engines without a single Index (the sharded engine) use it with
+// the hit's global sequence index.
+func RecoverAlignmentCatalog(cat Catalog, query []byte, sch score.Scheme, h Hit) (align.Alignment, error) {
 	if h.SeqIndex < 0 || h.SeqIndex >= cat.NumSequences() {
 		return align.Alignment{}, fmt.Errorf("core: hit sequence index %d out of range", h.SeqIndex)
 	}

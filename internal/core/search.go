@@ -26,6 +26,11 @@ type Options struct {
 	KA *score.KarlinAltschul
 	// Stats, when non-nil, accumulates work counters.
 	Stats *Stats
+	// DisableLiveBand turns off the live-band DP kernel and sweeps every
+	// cell of every column, as the original implementation did.  The search
+	// result is identical either way; the flag exists so tests and
+	// benchmarks can quantify the band's CellsComputed reduction.
+	DisableLiveBand bool
 }
 
 // Hit is one reported sequence: the strongest local alignment between the
@@ -108,6 +113,10 @@ type searchNode struct {
 	// of the node's path, or negInf when pruned.  Only retained for viable
 	// nodes (accepted nodes never expand further).
 	c []int
+	// cLo/cHi bound the live band of c: every cell outside [cLo, cHi] is
+	// negInf (cells outside the band may hold stale values from buffer
+	// reuse and must never be read).
+	cLo, cHi int
 	// maxScore is the strongest alignment found along this path.
 	maxScore int
 	// bestQueryEnd / bestPathDepth record where maxScore was achieved, for
@@ -134,6 +143,26 @@ func Search(idx Index, query []byte, opts Options, report func(Hit) bool) error 
 	return s.run(report)
 }
 
+// SearchStream is Search with a frontier hook: frontier is invoked with the
+// f-value of every node popped from the priority queue.  Because the queue is
+// a max-heap over f and f bounds every score obtainable at or below a node,
+// each callback value is a (non-increasing) upper bound on the score of any
+// hit the search can still report — including hits reported by the node just
+// popped.  Returning false from frontier cancels the search (like returning
+// false from report).
+//
+// The hook is what makes score-ordered merging of concurrent searches
+// possible (see internal/shard): a merger may release a buffered hit as soon
+// as its score is >= every other stream's latest frontier bound.
+func SearchStream(idx Index, query []byte, opts Options, report func(Hit) bool, frontier func(bound int) bool) error {
+	s, err := newSearcher(idx, query, opts)
+	if err != nil {
+		return err
+	}
+	s.frontier = frontier
+	return s.run(report)
+}
+
 // SearchAll runs Search and collects every hit.
 func SearchAll(idx Index, query []byte, opts Options) ([]Hit, error) {
 	var hits []Hit
@@ -156,6 +185,9 @@ type searcher struct {
 	nHits    int
 	seqGen   int64
 	stats    *Stats
+	// frontier, when non-nil, receives the f-value of every popped node
+	// (see SearchStream).
+	frontier func(bound int) bool
 	// prevBuf/curBuf are scratch columns reused across expansions to avoid
 	// a pair of allocations per visited child.
 	prevBuf []int
@@ -280,6 +312,10 @@ func (s *searcher) run(report func(Hit) bool) error {
 	}
 	for s.pq.Len() > 0 {
 		n := s.pop()
+		if s.frontier != nil && !s.frontier(n.f) {
+			s.recycleNode(n)
+			return nil
+		}
 		if n.tag == tagAccepted {
 			done, err := s.reportSubtree(n, report)
 			if err != nil {
@@ -318,16 +354,19 @@ func (s *searcher) run(report func(Hit) bool) error {
 func (s *searcher) rootNode() *searchNode {
 	m := len(s.query)
 	c := make([]int, m+1)
-	viable := false
+	lo, hi := m+1, -1
 	for i := 0; i <= m; i++ {
 		if s.h[i] < s.opts.MinScore {
 			c[i] = negInf
 		} else {
 			c[i] = 0
-			viable = true
+			if lo > m {
+				lo = i
+			}
+			hi = i
 		}
 	}
-	if !viable {
+	if hi < 0 {
 		// Even a perfect match of the whole query cannot reach minScore.
 		return nil
 	}
@@ -337,10 +376,15 @@ func (s *searcher) rootNode() *searchNode {
 			f = c[i] + s.h[i]
 		}
 	}
+	if s.opts.DisableLiveBand {
+		lo, hi = 0, m
+	}
 	return &searchNode{
 		ref:      s.idx.Root(),
 		depth:    0,
 		c:        c,
+		cLo:      lo,
+		cHi:      hi,
 		maxScore: 0,
 		f:        f,
 		tag:      tagViable,
@@ -354,25 +398,42 @@ func (s *searcher) rootNode() *searchNode {
 // The edge label is consumed lazily (chunk by chunk) so that long leaf edges
 // are only read as far as the column sweep actually progresses before the
 // node is accepted or discarded.
+//
+// The column sweep is banded: pruning leaves each column with a contiguous
+// live interval [lo, hi] of non-negInf cells (cells outside it are never
+// revived by later columns except through the insertion chain immediately
+// above hi), so only cells reachable from the previous column's band are
+// computed.  Cells outside a column's band are never written and may hold
+// stale values from buffer reuse — every read below is therefore guarded by
+// the band bounds.  Options.DisableLiveBand widens the band to the full
+// column, restoring the original exhaustive sweep.
 func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*searchNode, error) {
 	m := len(s.query)
 	mat := s.opts.Scheme.Matrix
 	gap := s.opts.Scheme.Gap
 	minScore := s.opts.MinScore
 	h := s.h
+	full := s.opts.DisableLiveBand
 
 	// prev/cur are searcher-owned scratch buffers (reused across every
-	// expansion); prev starts as a copy of the parent's column so the
-	// parent's vector stays intact for its other children.
+	// expansion); prev starts as a copy of the parent's live band so the
+	// parent's vector stays intact for its other children.  The locals swap
+	// roles once per column; every return path below re-synchronises the
+	// searcher fields with the locals so buffer ownership stays explicit.
 	prev := s.prevBuf
 	cur := s.curBuf
-	copy(prev, parent.c)
+	plo, phi := parent.cLo, parent.cHi
+	if full {
+		plo, phi = 0, m
+	}
+	copy(prev[plo:phi+1], parent.c[plo:phi+1])
 	maxScore := parent.maxScore
 	bestQEnd := parent.bestQueryEnd
 	bestDepth := parent.bestPathDepth
 
 	hColumn := negInf
 	columns := 0
+	var cells int64
 	terminator := false
 	labelLen := label.Len()
 	var chunk []byte
@@ -386,6 +447,7 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 			var err error
 			chunk, err = label.Symbols(j, to)
 			if err != nil {
+				s.prevBuf, s.curBuf = prev, cur
 				return nil, err
 			}
 			chunkStart, chunkEnd = j, to
@@ -398,36 +460,57 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 			break
 		}
 		pathDepth := parent.depth + j + 1
+		colBest := negInf
+		curLo, curHi := m+1, -1
+		// upCell tracks cur[i-1] through the sweep so the insertion move
+		// never reads an unwritten cell.
+		upCell := negInf
 		// Row 0: only a deletion from the previous column is possible; a
 		// reset to zero would duplicate work done on other suffixes.
-		v0 := addScore(prev[0], gap)
-		if v0 <= 0 || v0+h[0] <= maxScore || v0+h[0] < minScore {
-			v0 = negInf
-		}
-		cur[0] = v0
-		colBest := negInf
-		if v0 != negInf && v0+h[0] > colBest {
-			colBest = v0 + h[0]
+		if plo == 0 {
+			v0 := addScore(prev[0], gap)
+			if v0 <= 0 || v0+h[0] <= maxScore || v0+h[0] < minScore {
+				v0 = negInf
+			}
+			cur[0] = v0
+			cells++
+			if v0 != negInf {
+				curLo, curHi = 0, 0
+				colBest = v0 + h[0]
+			}
+			upCell = v0
 		}
 		profRow := s.prof[:]
 		symInt := int(sym)
-		for i := 1; i <= m; i++ {
-			diag := addScore(prev[i-1], profRow[(i-1)*s.profWidth+symInt])
-			up := addScore(cur[i-1], gap)  // insertion: consume a query symbol
-			left := addScore(prev[i], gap) // deletion: consume a target symbol
-			v := diag
-			if up > v {
+		start := plo
+		if start < 1 {
+			start = 1
+		}
+		for i := start; i <= m; i++ {
+			v := negInf
+			if i-1 >= plo && i-1 <= phi {
+				v = addScore(prev[i-1], profRow[(i-1)*s.profWidth+symInt]) // substitution
+			}
+			if up := addScore(upCell, gap); up > v { // insertion: consume a query symbol
 				v = up
 			}
-			if left > v {
-				v = left
+			if i <= phi { // i >= plo always holds here
+				if left := addScore(prev[i], gap); left > v { // deletion: consume a target symbol
+					v = left
+				}
 			}
 			// Alignment pruning (paper Section 3.2, cases 1-3).
 			if v <= 0 || v+h[i] <= maxScore || v+h[i] < minScore {
 				v = negInf
 			}
 			cur[i] = v
+			cells++
+			upCell = v
 			if v != negInf {
+				if curLo > m {
+					curLo = i
+				}
+				curHi = i
 				if v > maxScore {
 					maxScore = v
 					bestQEnd = i
@@ -436,6 +519,11 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 				if v+h[i] > colBest {
 					colBest = v + h[i]
 				}
+			} else if i > phi && !full {
+				// Past the previous column's band only the insertion chain
+				// can stay alive; once it dies the rest of the column is
+				// negInf and need not be touched.
+				break
 			}
 		}
 		columns++
@@ -443,7 +531,8 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 		if maxScore >= hColumn {
 			// Nothing below this node can beat the alignment already found
 			// along this path.
-			s.recordColumns(columns, m)
+			s.recordColumns(columns, cells)
+			s.prevBuf, s.curBuf = prev, cur
 			if maxScore >= minScore {
 				s.stats.NodesAccepted++
 				node := s.allocNode()
@@ -460,13 +549,18 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 			return nil, nil
 		}
 		if hColumn < minScore {
-			s.recordColumns(columns, m)
+			s.recordColumns(columns, cells)
+			s.prevBuf, s.curBuf = prev, cur
 			s.stats.NodesUnviable++
 			return nil, nil
 		}
 		prev, cur = cur, prev
+		plo, phi = curLo, curHi
+		if full {
+			plo, phi = 0, m
+		}
 	}
-	s.recordColumns(columns, m)
+	s.recordColumns(columns, cells)
 	// Keep the searcher's scratch pointers consistent with the swaps.
 	s.prevBuf, s.curBuf = prev, cur
 
@@ -498,7 +592,8 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 	node.tag = tagViable
 	node.f = hColumn
 	node.c = s.allocColumn()
-	copy(node.c, prev) // prev holds the last computed column after the swap
+	node.cLo, node.cHi = plo, phi
+	copy(node.c[plo:phi+1], prev[plo:phi+1]) // prev holds the last computed column after the swap
 	return node, nil
 }
 
@@ -510,9 +605,9 @@ func addScore(v, delta int) int {
 	return v + delta
 }
 
-func (s *searcher) recordColumns(columns, m int) {
+func (s *searcher) recordColumns(columns int, cells int64) {
 	s.stats.ColumnsExpanded += int64(columns)
-	s.stats.CellsComputed += int64(columns) * int64(m+1)
+	s.stats.CellsComputed += cells
 }
 
 // reportSubtree reports every not-yet-reported sequence that contains a leaf

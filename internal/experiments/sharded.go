@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ShardedRow is one point of the sharded scale-out experiment: the whole
+// query workload run through the sharded engine at one shard count.
+type ShardedRow struct {
+	Shards  int
+	Workers int
+	// QueryTime is the mean wall-clock time per query.
+	QueryTime time.Duration
+	// Hits is the total number of sequences reported across the workload.
+	Hits int64
+	// ColumnsExpanded / CellsComputed are summed across shards and queries.
+	ColumnsExpanded int64
+	CellsComputed   int64
+	// Speedup is row 0's QueryTime divided by this row's (so the first
+	// shard count acts as the baseline).
+	Speedup float64
+}
+
+// Sharded runs the workload through the sharded engine at each shard count
+// and reports throughput and work counters.  workers <= 0 means one worker
+// per shard.
+func Sharded(lab *Lab, shardCounts []int, workers int) ([]ShardedRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	var rows []ShardedRow
+	for _, n := range shardCounts {
+		engine, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		var st core.Stats
+		var hits int64
+		start := time.Now()
+		for _, q := range lab.Queries {
+			minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
+			err := engine.Search(q.Residues, core.Options{
+				Scheme: lab.Scheme, MinScore: minScore, Stats: &st,
+			}, func(core.Hit) bool {
+				hits++
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		row := ShardedRow{
+			Shards:          engine.NumShards(),
+			Workers:         engine.Workers(),
+			QueryTime:       elapsed / time.Duration(len(lab.Queries)),
+			Hits:            hits,
+			ColumnsExpanded: st.ColumnsExpanded,
+			CellsComputed:   st.CellsComputed,
+		}
+		if len(rows) > 0 && row.QueryTime > 0 {
+			row.Speedup = float64(rows[0].QueryTime) / float64(row.QueryTime)
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSharded writes the scale-out experiment as a text table.
+func RenderSharded(w io.Writer, rows []ShardedRow) {
+	fmt.Fprintln(w, "Sharded scale-out — mean query time vs shard count (order-preserving merge)")
+	fmt.Fprintf(w, "%-8s %-8s %-14s %-10s %-16s %-16s %-8s\n",
+		"shards", "workers", "time/query", "hits", "columns", "cells", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-8d %-14s %-10d %-16d %-16d %-8.2f\n",
+			r.Shards, r.Workers, fmtDur(r.QueryTime), r.Hits, r.ColumnsExpanded, r.CellsComputed, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
+// LiveBandRow summarises the live-band kernel ablation on the Figure-4
+// filtering workload: identical hits, fewer cells.
+type LiveBandRow struct {
+	// BandTime / FullTime are mean per-query times with the band on/off.
+	BandTime, FullTime time.Duration
+	// BandCells / FullCells are total cells computed across the workload.
+	BandCells, FullCells int64
+	// Columns is the total columns expanded (identical in both modes: the
+	// band changes which cells of a column are touched, not which columns
+	// are expanded).
+	Columns int64
+	// Hits is the total hit count (identical in both modes by construction;
+	// LiveBand returns an error otherwise).
+	Hits int64
+	// CellFraction is BandCells / FullCells.
+	CellFraction float64
+}
+
+// LiveBand measures the live-band kernel against the exhaustive column
+// sweep on the workload and verifies the hit streams are identical.
+func LiveBand(lab *Lab) (LiveBandRow, error) {
+	var row LiveBandRow
+	for _, q := range lab.Queries {
+		minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
+
+		var bandStats core.Stats
+		start := time.Now()
+		band, err := core.SearchAll(lab.Mem, q.Residues, core.Options{
+			Scheme: lab.Scheme, MinScore: minScore, Stats: &bandStats,
+		})
+		if err != nil {
+			return row, err
+		}
+		row.BandTime += time.Since(start)
+
+		var fullStats core.Stats
+		start = time.Now()
+		fullSweep, err := core.SearchAll(lab.Mem, q.Residues, core.Options{
+			Scheme: lab.Scheme, MinScore: minScore, Stats: &fullStats,
+			DisableLiveBand: true,
+		})
+		if err != nil {
+			return row, err
+		}
+		row.FullTime += time.Since(start)
+
+		if len(band) != len(fullSweep) {
+			return row, fmt.Errorf("experiments: live band changed the hit count for %s: %d vs %d",
+				q.ID, len(band), len(fullSweep))
+		}
+		for i := range band {
+			if band[i] != fullSweep[i] {
+				return row, fmt.Errorf("experiments: live band changed hit %d for %s", i, q.ID)
+			}
+		}
+		row.Hits += int64(len(band))
+		row.BandCells += bandStats.CellsComputed
+		row.FullCells += fullStats.CellsComputed
+		row.Columns += bandStats.ColumnsExpanded
+	}
+	n := time.Duration(len(lab.Queries))
+	if n > 0 {
+		row.BandTime /= n
+		row.FullTime /= n
+	}
+	if row.FullCells > 0 {
+		row.CellFraction = float64(row.BandCells) / float64(row.FullCells)
+	}
+	return row, nil
+}
+
+// RenderLiveBand writes the live-band ablation as a text table.
+func RenderLiveBand(w io.Writer, row LiveBandRow) {
+	fmt.Fprintln(w, "Live-band DP kernel — cells computed vs the exhaustive sweep (identical hits)")
+	fmt.Fprintf(w, "%-14s %-14s %-16s %-16s %-10s %-8s\n",
+		"band t/query", "full t/query", "band cells", "full cells", "fraction", "hits")
+	fmt.Fprintf(w, "%-14s %-14s %-16d %-16d %-10.4f %-8d\n",
+		fmtDur(row.BandTime), fmtDur(row.FullTime), row.BandCells, row.FullCells, row.CellFraction, row.Hits)
+	fmt.Fprintln(w)
+}
+
+// BenchRecord is one entry of the machine-readable benchmark trajectory file
+// (BENCH_oasis.json): a named measurement with its primary latency and the
+// paper's work counters, so the perf history can be tracked across PRs.
+type BenchRecord struct {
+	// Name identifies the measurement (e.g. "sharded/shards=4").
+	Name string `json:"name"`
+	// NsPerOp is the mean wall-clock nanoseconds per query.
+	NsPerOp float64 `json:"ns_per_op"`
+	// ColumnsExpanded / CellsComputed are the summed work counters for the
+	// measured run (0 when the measurement does not track them).
+	ColumnsExpanded int64 `json:"columns_expanded"`
+	CellsComputed   int64 `json:"cells_computed"`
+	// Extra carries measurement-specific values (speedups, fractions).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchReport is the top-level BENCH_oasis.json document.
+type BenchReport struct {
+	// Generated records the configuration the numbers came from.
+	Residues   int64         `json:"residues"`
+	NumQueries int           `json:"num_queries"`
+	EValue     float64       `json:"evalue"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Records    []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON writes the report to path (pretty-printed, trailing
+// newline, suitable for checking in).
+func WriteBenchJSON(path string, report BenchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

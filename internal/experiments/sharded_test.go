@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShardedExperiment(t *testing.T) {
+	lab := newTinyLab(t)
+	rows, err := Sharded(lab, []int{1, 2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Hits != rows[0].Hits {
+			t.Fatalf("row %d: %d hits, baseline reported %d (sharding changed results)", i, r.Hits, rows[0].Hits)
+		}
+		if r.QueryTime <= 0 || r.ColumnsExpanded <= 0 || r.CellsComputed <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+	}
+	if rows[0].Shards != 1 || rows[0].Speedup != 1 {
+		t.Fatalf("baseline row malformed: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	RenderSharded(&buf, rows)
+	if !strings.Contains(buf.String(), "shards") {
+		t.Fatal("render output missing header")
+	}
+}
+
+func TestLiveBandExperiment(t *testing.T) {
+	lab := newTinyLab(t)
+	row, err := LiveBand(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FullCells <= 0 || row.BandCells <= 0 {
+		t.Fatalf("empty cell counters: %+v", row)
+	}
+	if row.BandCells > row.FullCells {
+		t.Fatalf("band computed more cells (%d) than the full sweep (%d)", row.BandCells, row.FullCells)
+	}
+	if row.CellFraction <= 0 || row.CellFraction > 1 {
+		t.Fatalf("cell fraction out of range: %v", row.CellFraction)
+	}
+	var buf bytes.Buffer
+	RenderLiveBand(&buf, row)
+	if !strings.Contains(buf.String(), "fraction") {
+		t.Fatal("render output missing header")
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	report := BenchReport{
+		Residues: 1000, NumQueries: 3, EValue: 20000, GoMaxProcs: 1,
+		Records: []BenchRecord{{
+			Name: "sharded/shards=4", NsPerOp: 1.5e6,
+			ColumnsExpanded: 10, CellsComputed: 100,
+			Extra: map[string]float64{"speedup": 2.0},
+		}},
+	}
+	if err := WriteBenchJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0].Name != "sharded/shards=4" ||
+		got.Records[0].CellsComputed != 100 || got.Records[0].Extra["speedup"] != 2.0 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is a split of one database into independently indexable shards.
+// Every sequence of the source database appears in exactly one shard;
+// sequence residues are shared with the source (not copied), so a partition
+// costs one concatenated view per shard but no residue duplication.
+type Partition struct {
+	// Shards are the per-shard databases, each over the source alphabet.
+	Shards []*Database
+	// GlobalIndex[s][i] is the index in the source database of shard s's
+	// i-th sequence; it maps shard-local hit indexes back to global ones.
+	GlobalIndex [][]int
+}
+
+// NumShards returns the number of shards.
+func (p *Partition) NumShards() int { return len(p.Shards) }
+
+// PartitionDatabase splits db into at most nShards shards balanced by
+// residue count, using the greedy longest-processing-time heuristic:
+// sequences are assigned longest-first to the currently lightest shard.
+// The split is deterministic; within each shard, sequences keep their
+// source order so shard-local searches see the same neighbourhoods.
+//
+// Fewer than nShards shards are returned when the database has fewer
+// sequences than requested (a shard is never empty).
+func PartitionDatabase(db *Database, nShards int) (*Partition, error) {
+	if db == nil {
+		return nil, fmt.Errorf("seq: nil database")
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("seq: shard count must be >= 1, got %d", nShards)
+	}
+	n := db.NumSequences()
+	if n == 0 {
+		return nil, fmt.Errorf("seq: cannot partition an empty database")
+	}
+	if nShards > n {
+		nShards = n
+	}
+
+	// Longest-first assignment to the lightest shard (ties: lowest shard).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := db.Sequence(order[a]).Len(), db.Sequence(order[b]).Len()
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, nShards)
+	members := make([][]int, nShards)
+	for _, si := range order {
+		best := 0
+		for s := 1; s < nShards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		members[best] = append(members[best], si)
+		load[best] += int64(db.Sequence(si).Len())
+	}
+
+	p := &Partition{
+		Shards:      make([]*Database, nShards),
+		GlobalIndex: make([][]int, nShards),
+	}
+	for s := range members {
+		sort.Ints(members[s]) // restore source order within the shard
+		seqs := make([]Sequence, len(members[s]))
+		for i, gi := range members[s] {
+			seqs[i] = db.Sequence(gi)
+		}
+		shardDB, err := NewDatabase(db.Alphabet(), seqs)
+		if err != nil {
+			return nil, err
+		}
+		p.Shards[s] = shardDB
+		p.GlobalIndex[s] = members[s]
+	}
+	return p, nil
+}

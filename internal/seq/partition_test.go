@@ -1,0 +1,135 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomPartitionDB(t *testing.T, rng *rand.Rand, n, maxLen int) *Database {
+	t.Helper()
+	letters := DNA.Letters()
+	strs := make([]string, n)
+	for i := range strs {
+		var b strings.Builder
+		l := 1 + rng.Intn(maxLen)
+		for j := 0; j < l; j++ {
+			b.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		strs[i] = b.String()
+	}
+	db, err := DatabaseFromStrings(DNA, strs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPartitionCoversEverySequenceOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		db := randomPartitionDB(t, rng, 1+rng.Intn(40), 120)
+		nShards := 1 + rng.Intn(8)
+		p, err := PartitionDatabase(db, nShards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, db.NumSequences())
+		for s, shardDB := range p.Shards {
+			if shardDB.NumSequences() == 0 {
+				t.Fatalf("shard %d is empty", s)
+			}
+			if len(p.GlobalIndex[s]) != shardDB.NumSequences() {
+				t.Fatalf("shard %d: index map has %d entries for %d sequences",
+					s, len(p.GlobalIndex[s]), shardDB.NumSequences())
+			}
+			for i, gi := range p.GlobalIndex[s] {
+				if seen[gi] {
+					t.Fatalf("sequence %d assigned to more than one shard", gi)
+				}
+				seen[gi] = true
+				want := db.Sequence(gi)
+				got := shardDB.Sequence(i)
+				if got.ID != want.ID || got.Len() != want.Len() {
+					t.Fatalf("shard %d seq %d: got %s/%d, want %s/%d",
+						s, i, got.ID, got.Len(), want.ID, want.Len())
+				}
+			}
+		}
+		for gi, ok := range seen {
+			if !ok {
+				t.Fatalf("sequence %d missing from every shard", gi)
+			}
+		}
+	}
+}
+
+func TestPartitionBalancesResidues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randomPartitionDB(t, rng, 200, 300)
+	p, err := PartitionDatabase(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64
+	for s, shardDB := range p.Shards {
+		r := shardDB.TotalResidues()
+		if s == 0 || r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	// LPT keeps the spread tight on a workload of 200 sequences; allow a
+	// generous margin so the test checks balance, not the exact heuristic.
+	if min == 0 || float64(max)/float64(min) > 1.25 {
+		t.Fatalf("unbalanced shards: min=%d max=%d residues", min, max)
+	}
+}
+
+func TestPartitionCapsShardCount(t *testing.T) {
+	db := MustDatabase(DNA, []Sequence{mustSeq(t, "a", "ACGT"), mustSeq(t, "b", "GGCC")})
+	p, err := PartitionDatabase(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 2 {
+		t.Fatalf("got %d shards for a 2-sequence database, want 2", p.NumShards())
+	}
+	if _, err := PartitionDatabase(db, 0); err == nil {
+		t.Fatal("expected an error for shard count 0")
+	}
+}
+
+func TestPartitionIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomPartitionDB(t, rng, 60, 100)
+	a, err := PartitionDatabase(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionDatabase(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.GlobalIndex {
+		if len(a.GlobalIndex[s]) != len(b.GlobalIndex[s]) {
+			t.Fatalf("shard %d sizes differ between runs", s)
+		}
+		for i := range a.GlobalIndex[s] {
+			if a.GlobalIndex[s][i] != b.GlobalIndex[s][i] {
+				t.Fatalf("shard %d entry %d differs between runs", s, i)
+			}
+		}
+	}
+}
+
+func mustSeq(t *testing.T, id, residues string) Sequence {
+	t.Helper()
+	s, err := NewSequence(DNA, id, "", residues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"container/heap"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// merger performs the k-way, score-ordered online merge of per-shard hit
+// streams.  A buffered hit is released as soon as its score is >= the
+// frontier bound of every shard that is still running — including its own,
+// whose bound caps any hit it could still produce.  Bounds only decrease, so
+// the released stream is non-increasing in score.
+type merger struct {
+	bounds     []int  // latest frontier bound per shard
+	done       []bool // shard finished (bound is effectively -inf)
+	pending    hitQueue
+	shardStats []core.Stats
+	opts       core.Options
+	report     func(core.Hit) bool
+	totalRes   int64 // global residue count for E-values
+	queryLen   int
+	nEmitted   int
+	nDone      int
+	err        error
+}
+
+func newMerger(nShards, rootBound int, opts core.Options, totalRes int64, queryLen int, report func(core.Hit) bool) *merger {
+	m := &merger{
+		bounds:     make([]int, nShards),
+		done:       make([]bool, nShards),
+		shardStats: make([]core.Stats, 0, nShards),
+		opts:       opts,
+		report:     report,
+		totalRes:   totalRes,
+		queryLen:   queryLen,
+	}
+	for s := range m.bounds {
+		m.bounds[s] = rootBound
+	}
+	return m
+}
+
+// run consumes shard events until every shard has completed, emitting hits
+// whenever the bounds allow.  When the consumer stops the stream (report
+// returns false or MaxResults is reached) it flips cancelled and keeps
+// draining so no shard goroutine stays blocked on a send.
+func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
+	stopped := false
+	for m.nDone < len(m.bounds) {
+		ev := <-events
+		switch ev.kind {
+		case evBound:
+			if ev.bound < m.bounds[ev.shard] {
+				m.bounds[ev.shard] = ev.bound
+			}
+		case evHit:
+			// The hit itself caps everything the shard still holds.
+			if ev.hit.Score < m.bounds[ev.shard] {
+				m.bounds[ev.shard] = ev.hit.Score
+			}
+			if !stopped {
+				heap.Push(&m.pending, ev.hit)
+			}
+		case evDone:
+			m.done[ev.shard] = true
+			m.nDone++
+			m.shardStats = append(m.shardStats, ev.stats)
+			if ev.err != nil && m.err == nil {
+				m.err = ev.err
+				stopped = true
+				cancelled.Store(true)
+			}
+		}
+		if !stopped && !m.emitReady() {
+			stopped = true
+			cancelled.Store(true)
+		}
+	}
+	return m.err
+}
+
+// emitReady releases every pending hit whose score is >= the bound of every
+// unfinished shard.  It returns false when the consumer stopped the stream.
+func (m *merger) emitReady() bool {
+	for m.pending.Len() > 0 {
+		top := m.pending.hits[0]
+		for s := range m.bounds {
+			if !m.done[s] && m.bounds[s] > top.Score {
+				return true // a stronger hit may still arrive; wait
+			}
+		}
+		h := heap.Pop(&m.pending).(core.Hit)
+		m.nEmitted++
+		h.Rank = m.nEmitted
+		if m.opts.KA != nil {
+			h.EValue = m.opts.KA.EValue(h.Score, m.queryLen, m.totalRes)
+		}
+		if !m.report(h) {
+			return false
+		}
+		if m.opts.MaxResults > 0 && m.nEmitted >= m.opts.MaxResults {
+			return false
+		}
+	}
+	return true
+}
+
+// hitQueue is a max-heap of hits ordered by score (ties: lower global
+// sequence index first, so simultaneous buffered ties release
+// deterministically).
+type hitQueue struct {
+	hits []core.Hit
+}
+
+func (q *hitQueue) Len() int { return len(q.hits) }
+func (q *hitQueue) Less(i, j int) bool {
+	if q.hits[i].Score != q.hits[j].Score {
+		return q.hits[i].Score > q.hits[j].Score
+	}
+	return q.hits[i].SeqIndex < q.hits[j].SeqIndex
+}
+func (q *hitQueue) Swap(i, j int) { q.hits[i], q.hits[j] = q.hits[j], q.hits[i] }
+func (q *hitQueue) Push(x any)    { q.hits = append(q.hits, x.(core.Hit)) }
+func (q *hitQueue) Pop() any {
+	old := q.hits
+	n := len(old)
+	h := old[n-1]
+	q.hits = old[:n-1]
+	return h
+}

@@ -1,0 +1,210 @@
+// Package shard runs one OASIS searcher per database partition on a bounded
+// worker pool and merges the per-shard hit streams into one globally
+// score-ordered stream.
+//
+// Each shard is an independently built suffix-tree index over a subset of
+// the sequences (seq.PartitionDatabase balances the subsets by residue
+// count).  A shard's searcher reports its hits in decreasing score order and
+// additionally publishes a decreasing frontier bound — the f-value of the
+// node at the head of its priority queue, which caps every score the shard
+// can still report (core.SearchStream).  The merger may therefore release a
+// buffered hit as soon as its score is >= every other shard's latest bound,
+// which preserves the paper's online decreasing-score property end to end
+// while keeping first-hit latency low: no shard has to finish before the
+// strongest hits start flowing.
+//
+// Hits with equal scores may interleave differently from run to run (the
+// order depends on which shard surfaces them first); the stream is always
+// non-increasing in score and always contains exactly the hits the
+// single-index search reports.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// Options configures a sharded engine.
+type Options struct {
+	// Shards is the number of database partitions (default 1; capped at
+	// the number of sequences).
+	Shards int
+	// Workers bounds how many shard searches run concurrently (default:
+	// one worker per shard).
+	Workers int
+}
+
+// Engine is a sharded OASIS search engine over one logical database.
+type Engine struct {
+	indexes []*core.MemoryIndex
+	globals [][]int // shard-local sequence index -> global index
+	workers int
+	total   int64 // global residue count, for E-values
+	queryAl *seq.Alphabet
+}
+
+// NewEngine partitions db into opts.Shards shards balanced by residue count
+// and builds one in-memory suffix-tree index per shard.
+func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	part, err := seq.PartitionDatabase(db, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		indexes: make([]*core.MemoryIndex, part.NumShards()),
+		globals: part.GlobalIndex,
+		total:   db.TotalResidues(),
+		queryAl: db.Alphabet(),
+	}
+	for s, shardDB := range part.Shards {
+		idx, err := core.BuildMemoryIndex(shardDB)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		e.indexes[s] = idx
+	}
+	e.workers = opts.Workers
+	if e.workers < 1 || e.workers > len(e.indexes) {
+		e.workers = len(e.indexes)
+	}
+	return e, nil
+}
+
+// NumShards returns the number of partitions.
+func (e *Engine) NumShards() int { return len(e.indexes) }
+
+// Workers returns the concurrency bound for shard searches.
+func (e *Engine) Workers() int { return e.workers }
+
+// Shard exposes one shard's index (tests and diagnostics).
+func (e *Engine) Shard(i int) core.Index { return e.indexes[i] }
+
+// event is one message from a shard goroutine to the merger.
+type event struct {
+	shard int
+	kind  eventKind
+	hit   core.Hit
+	bound int
+	stats core.Stats
+	err   error
+}
+
+type eventKind uint8
+
+const (
+	evBound eventKind = iota
+	evHit
+	evDone
+)
+
+// Search runs the query on every shard and streams the merged hits to
+// report in globally decreasing score order, exactly as core.Search does on
+// a single index.  Per-shard work counters are merged into opts.Stats via
+// Stats.Add; hit ranks are assigned by the merger.  Returning false from
+// report cancels every shard search.
+func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) bool) error {
+	if len(e.indexes) == 1 {
+		// One shard is the single-index search; skip the merge machinery.
+		globals := e.globals[0]
+		n := 0
+		return core.Search(e.indexes[0], query, opts, func(h core.Hit) bool {
+			h.SeqIndex = globals[h.SeqIndex]
+			n++
+			h.Rank = n
+			return report(h)
+		})
+	}
+	if err := opts.Scheme.Validate(); err != nil {
+		return err
+	}
+
+	// Every shard starts from the same root frontier: the strongest f any
+	// search over this query can hold (max heuristic among unpruned query
+	// positions).  Using it as the initial bound lets the merger reason
+	// about shards the worker pool has not scheduled yet.
+	rootBound := score.NegInf
+	if e.queryAl.ValidCodes(query) && opts.Scheme.Matrix.Alphabet() == e.queryAl {
+		for _, hi := range core.HeuristicVector(query, opts.Scheme.Matrix) {
+			if hi >= opts.MinScore && hi > rootBound {
+				rootBound = hi
+			}
+		}
+	}
+
+	nShards := len(e.indexes)
+	events := make(chan event, 4*nShards+16)
+	var cancelled atomic.Bool
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e.runShard(s, query, opts, events, &cancelled)
+		}(s)
+	}
+
+	m := newMerger(nShards, rootBound, opts, e.total, len(query), report)
+	err := m.run(events, &cancelled)
+	wg.Wait()
+	if opts.Stats != nil {
+		for _, st := range m.shardStats {
+			opts.Stats.Add(st)
+		}
+	}
+	return err
+}
+
+// runShard executes one shard's search, remapping hits to global sequence
+// indexes and forwarding hits, frontier bounds and completion to the merger.
+func (e *Engine) runShard(s int, query []byte, opts core.Options, events chan<- event, cancelled *atomic.Bool) {
+	globals := e.globals[s]
+	var st core.Stats
+	shardOpts := opts
+	shardOpts.Stats = &st
+	// E-values depend on the global database size; they are attached by the
+	// merger, not the shard.
+	shardOpts.KA = nil
+	lastBound := int(^uint(0) >> 1) // MaxInt
+	err := core.SearchStream(e.indexes[s], query, shardOpts,
+		func(h core.Hit) bool {
+			if cancelled.Load() {
+				return false
+			}
+			h.SeqIndex = globals[h.SeqIndex]
+			h.Rank = 0
+			events <- event{shard: s, kind: evHit, hit: h}
+			return true
+		},
+		func(bound int) bool {
+			if cancelled.Load() {
+				return false
+			}
+			if bound < lastBound {
+				lastBound = bound
+				events <- event{shard: s, kind: evBound, bound: bound}
+			}
+			return true
+		})
+	events <- event{shard: s, kind: evDone, stats: st, err: err}
+}
+
+// SearchAll runs Search and collects every hit.
+func (e *Engine) SearchAll(query []byte, opts core.Options) ([]core.Hit, error) {
+	var hits []core.Hit
+	err := e.Search(query, opts, func(h core.Hit) bool {
+		hits = append(hits, h)
+		return true
+	})
+	return hits, err
+}

@@ -15,6 +15,14 @@
 //	    return true                    // return false to stop early (online top-k)
 //	})
 //
+// For multi-core scale-out, NewShardedIndex partitions the database into
+// independently indexed shards searched in parallel, with per-shard hit
+// streams merged online so the decreasing-score property (and therefore
+// early termination and top-k) is preserved:
+//
+//	sharded, _ := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: 8, Workers: 4})
+//	hits, _ := sharded.SearchAll(query, opts) // same hits, same order guarantee
+//
 // The package also exposes the two baselines of the paper's evaluation —
 // exact Smith-Waterman search and a BLAST-style heuristic search — so that
 // results and costs can be compared on the same data.
@@ -163,6 +171,10 @@ type SearchOptions struct {
 	KA *KarlinAltschul
 	// Stats accumulates work counters when non-nil.
 	Stats *SearchStats
+	// DisableLiveBand turns off the banded DP kernel and sweeps every
+	// column cell (for measuring the band's CellsComputed reduction;
+	// results are identical either way).
+	DisableLiveBand bool
 }
 
 // SearchOption mutates SearchOptions in NewSearchOptions.
@@ -235,11 +247,12 @@ func NewSearchOptions(scheme Scheme, db *Database, query []byte, opts ...SearchO
 // score order; return false from report to stop early.
 func Search(idx Index, query []byte, opts SearchOptions, report func(Hit) bool) error {
 	return core.Search(idx, query, core.Options{
-		Scheme:     opts.Scheme,
-		MinScore:   opts.MinScore,
-		MaxResults: opts.MaxResults,
-		KA:         opts.KA,
-		Stats:      opts.Stats,
+		Scheme:          opts.Scheme,
+		MinScore:        opts.MinScore,
+		MaxResults:      opts.MaxResults,
+		KA:              opts.KA,
+		Stats:           opts.Stats,
+		DisableLiveBand: opts.DisableLiveBand,
 	}, report)
 }
 

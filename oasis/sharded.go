@@ -1,0 +1,87 @@
+package oasis
+
+import (
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ShardOptions configures a sharded in-memory search engine.
+type ShardOptions struct {
+	// Shards is the number of database partitions; the database is split
+	// into this many independently indexed shards balanced by residue
+	// count (default 1; capped at the number of sequences).
+	Shards int
+	// Workers bounds how many shard searches run concurrently for one
+	// query (default: one worker per shard).
+	Workers int
+}
+
+// ShardedIndex is a sharded parallel OASIS engine: one suffix-tree index
+// and searcher per database partition, with per-shard hit streams merged
+// online into a single globally decreasing-score stream.  It reports
+// exactly the hits a single-index search reports; hits with equal scores
+// may interleave differently between runs.
+//
+// Quickstart:
+//
+//	db, _ := oasis.LoadFASTA("swissprot.fasta", oasis.Protein)
+//	idx, _ := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: 8})
+//	opts, _ := oasis.NewSearchOptions(scheme, db, query, oasis.WithEValue(20000))
+//	err := idx.Search(query, opts, func(h oasis.Hit) bool {
+//	    fmt.Println(h.SeqID, h.Score) // still decreasing-score, still online
+//	    return true
+//	})
+type ShardedIndex struct {
+	engine *shard.Engine
+	db     *Database
+}
+
+// NewShardedIndex partitions db into opts.Shards shards balanced by residue
+// count and builds one in-memory suffix-tree index per shard.
+func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
+	engine, err := shard.NewEngine(db, shard.Options{Shards: opts.Shards, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{engine: engine, db: db}, nil
+}
+
+// NumShards returns the number of partitions actually built.
+func (x *ShardedIndex) NumShards() int { return x.engine.NumShards() }
+
+// Workers returns the per-query concurrency bound.
+func (x *ShardedIndex) Workers() int { return x.engine.Workers() }
+
+// Search runs the query on every shard and streams the merged hits to
+// report in decreasing score order, exactly like the single-index Search.
+// Per-shard work counters are merged into opts.Stats; return false from
+// report to stop early.
+func (x *ShardedIndex) Search(query []byte, opts SearchOptions, report func(Hit) bool) error {
+	return x.engine.Search(query, core.Options{
+		Scheme:          opts.Scheme,
+		MinScore:        opts.MinScore,
+		MaxResults:      opts.MaxResults,
+		KA:              opts.KA,
+		Stats:           opts.Stats,
+		DisableLiveBand: opts.DisableLiveBand,
+	}, report)
+}
+
+// RecoverAlignment reconstructs the full alignment for a hit reported by
+// this engine (hit sequence indexes are global, so recovery runs against
+// the source database).
+func (x *ShardedIndex) RecoverAlignment(query []byte, scheme Scheme, h Hit) (Alignment, error) {
+	return core.RecoverAlignmentCatalog(core.NewDatabaseCatalog(x.db), query, scheme, h)
+}
+
+// SearchAll runs Search and collects every hit.
+func (x *ShardedIndex) SearchAll(query []byte, opts SearchOptions) ([]Hit, error) {
+	return x.engine.SearchAll(query, core.Options{
+		Scheme:          opts.Scheme,
+		MinScore:        opts.MinScore,
+		MaxResults:      opts.MaxResults,
+		KA:              opts.KA,
+		Stats:           opts.Stats,
+		DisableLiveBand: opts.DisableLiveBand,
+	})
+}

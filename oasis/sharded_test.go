@@ -1,0 +1,75 @@
+package oasis_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/oasis"
+)
+
+// TestShardedIndexPublicAPI drives the sharded engine through the public
+// facade on a workload-generated database and checks it against the
+// single-index search.
+func TestShardedIndexPublicAPI(t *testing.T) {
+	cfg := workload.DefaultProteinConfig(30_000)
+	cfg.Seed = 77
+	db, motifs, err := workload.ProteinDatabase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.MotifQueries(db, motifs, workload.DefaultQueryConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("PAM30"), -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.NumShards() != 4 {
+		t.Fatalf("got %d shards, want 4", sharded.NumShards())
+	}
+
+	for _, q := range queries {
+		opts, err := oasis.NewSearchOptions(scheme, db, q.Residues, oasis.WithEValue(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oasis.SearchAll(single, q.Residues, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st oasis.SearchStats
+		opts.Stats = &st
+		got, err := sharded.SearchAll(q.Residues, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: sharded reported %d hits, single %d", q.ID, len(got), len(want))
+		}
+		seen := map[int]int{}
+		for _, h := range want {
+			seen[h.SeqIndex] = h.Score
+		}
+		for i, h := range got {
+			if s, ok := seen[h.SeqIndex]; !ok || s != h.Score {
+				t.Fatalf("query %s: hit %d (%s score %d) not in single-index results", q.ID, i, h.SeqID, h.Score)
+			}
+			if h.Score != want[i].Score {
+				t.Fatalf("query %s: score at position %d is %d, single-index has %d", q.ID, i, h.Score, want[i].Score)
+			}
+		}
+		if len(got) > 0 && st.NodesExpanded == 0 {
+			t.Fatalf("query %s: per-shard stats were not merged", q.ID)
+		}
+	}
+}
