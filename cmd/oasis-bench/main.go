@@ -11,6 +11,7 @@
 //	oasis-bench -exp fig7,fig8 -residues 4000000
 //	oasis-bench -exp fig9 -query DKDGDGCITTKEL
 //	oasis-bench -exp sharded,liveband -shards 1,2,4,8 -workers 4
+//	oasis-bench -exp batch -shards 4   # warm engine vs per-query setup
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch or all")
 		residues = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries  = flag.Int("queries", 60, "number of motif queries")
 		eValue   = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -211,6 +212,28 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 				ColumnsExpanded: row.Columns,
 				CellsComputed:   row.FullCells,
 			})
+	}
+	if want("batch") {
+		// The batch experiment measures what the warm engine amortises, at
+		// the first configured shard count (use -shards to vary).
+		rows, err := experiments.Batch(lab, shardCounts[0], workers, 0)
+		if err != nil {
+			return err
+		}
+		experiments.RenderBatch(out, rows)
+		for _, r := range rows {
+			report.Records = append(report.Records, experiments.BenchRecord{
+				Name:    "batch/" + r.Mode,
+				NsPerOp: float64(r.QueryTime),
+				Extra: map[string]float64{
+					"queries_per_sec": r.QueriesPerSec,
+					"speedup":         r.Speedup,
+					"hits":            float64(r.Hits),
+					"build_ns":        float64(r.BuildTime),
+					"queries":         float64(r.Queries),
+				},
+			})
+		}
 	}
 	if jsonPath != "" && len(report.Records) > 0 {
 		if err := experiments.WriteBenchJSON(jsonPath, report); err != nil {

@@ -1,0 +1,137 @@
+// Command oasis-serve is the long-running OASIS search server: it loads a
+// FASTA database, builds a warm sharded engine ONCE, and then serves many
+// queries over HTTP, amortising index construction and searcher scratch
+// across the whole query stream (the batch-engine counterpart of the paper's
+// online search property: build once, serve many, stream top-k).
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness + database shape
+//	GET  /stats    lifetime engine counters (queries, hits, work)
+//	POST /search   one query; NDJSON stream of hits in decreasing score order
+//	POST /batch    many queries multiplexed over one connection; events carry
+//	               query_id, each query's hits are decreasing-score
+//
+// Example:
+//
+//	oasis-serve -db swissprot.fasta -shards 8 -addr :8080
+//	curl -sN localhost:8080/search -d '{"query":"DKDGDGCITTKEL","top":5}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: listeners close first,
+// in-flight streams finish (bounded by -shutdown-timeout), then the engine
+// drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/oasis"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dbPath       = flag.String("db", "", "FASTA database to index and serve (required)")
+		alphabet     = flag.String("alphabet", "protein", "alphabet: protein or dna")
+		matrix       = flag.String("matrix", "PAM30", "substitution matrix")
+		gap          = flag.Int("gap", -10, "linear gap penalty (negative)")
+		eValue       = flag.Float64("evalue", 20000, "default E-value threshold for queries that do not set one")
+		shards       = flag.Int("shards", 0, "database partitions (0 = one)")
+		shardWorkers = flag.Int("shard-workers", 0, "concurrent shard searches per query (0 = one per shard)")
+		batchWorkers = flag.Int("batch-workers", 0, "concurrent queries per batch (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", 256, "maximum queries per /batch request")
+		shutdownWait = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+	if err := run(*addr, *dbPath, *alphabet, *matrix, *gap, *eValue,
+		*shards, *shardWorkers, *batchWorkers, *maxBatch, *shutdownWait); err != nil {
+		fmt.Fprintln(os.Stderr, "oasis-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
+	shards, shardWorkers, batchWorkers, maxBatch int, shutdownWait time.Duration) error {
+	if dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	alpha := oasis.Protein
+	if alphabet == "dna" {
+		alpha = oasis.DNA
+	} else if alphabet != "protein" {
+		return fmt.Errorf("unknown alphabet %q", alphabet)
+	}
+	matrix := oasis.MatrixByName(matrixName)
+	if matrix == nil {
+		return fmt.Errorf("unknown matrix %q", matrixName)
+	}
+	scheme, err := oasis.NewScheme(matrix, gap)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("loading %s ...", dbPath)
+	db, err := oasis.LoadFASTA(dbPath, alpha)
+	if err != nil {
+		return err
+	}
+	build := time.Now()
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{
+		Shards:       shards,
+		ShardWorkers: shardWorkers,
+		BatchWorkers: batchWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("warm engine ready: %d sequences (%d residues), %d shards, built in %s",
+		db.NumSequences(), db.TotalResidues(), eng.NumShards(), time.Since(build).Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr: addr,
+		Handler: newServer(eng, serverConfig{
+			scheme:        scheme,
+			defaultEValue: eValue,
+			maxBatch:      maxBatch,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", shutdownWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	log.Printf("bye: served %d queries, %d hits", st.QueriesServed, st.HitsReported)
+	return nil
+}

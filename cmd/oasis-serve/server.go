@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/oasis"
+)
+
+// serverConfig carries the per-deployment search defaults.
+type serverConfig struct {
+	scheme        oasis.Scheme
+	defaultEValue float64
+	// maxBatch bounds the number of queries accepted per /batch request.
+	maxBatch int
+	// maxQueryLen bounds accepted query lengths (residues).
+	maxQueryLen int
+}
+
+// searchRequest is the JSON body of POST /search and one element of the
+// /batch query list.
+type searchRequest struct {
+	// ID labels the query in batch responses (optional for /search).
+	ID string `json:"id,omitempty"`
+	// Query is the residue string (protein or DNA letters, matching the
+	// server's database alphabet).
+	Query string `json:"query"`
+	// EValue overrides the server's default selectivity when > 0.
+	EValue float64 `json:"evalue,omitempty"`
+	// MinScore overrides the E-value-derived threshold when > 0.
+	MinScore int `json:"min_score,omitempty"`
+	// Top truncates the stream to the k strongest sequences when > 0.
+	Top int `json:"top,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []searchRequest `json:"queries"`
+}
+
+// hitEvent is one NDJSON line of a result stream.  Type is "hit" for a
+// result, "done" when a query's stream ends (with its work counters), or
+// "error" for a terminal per-query failure.
+type hitEvent struct {
+	Type    string  `json:"type"`
+	QueryID string  `json:"query_id,omitempty"`
+	Rank    int     `json:"rank,omitempty"`
+	SeqID   string  `json:"seq_id,omitempty"`
+	Score   int     `json:"score,omitempty"`
+	EValue  float64 `json:"evalue,omitempty"`
+	// Hits and ElapsedMs summarise the query on "done" events.
+	Hits      int                `json:"hits,omitempty"`
+	ElapsedMs float64            `json:"elapsed_ms,omitempty"`
+	Stats     *oasis.SearchStats `json:"stats,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// server is the HTTP front end over one warm engine.
+type server struct {
+	eng *oasis.Engine
+	cfg serverConfig
+	mux *http.ServeMux
+}
+
+// newServer builds the HTTP handler: build the engine once, serve many
+// queries, stream results as NDJSON so clients see hits (strongest first)
+// the moment OASIS finds them.
+func newServer(eng *oasis.Engine, cfg serverConfig) *server {
+	if cfg.maxBatch <= 0 {
+		cfg.maxBatch = 256
+	}
+	if cfg.maxQueryLen <= 0 {
+		cfg.maxQueryLen = 10_000
+	}
+	s := &server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"shards":    s.eng.NumShards(),
+		"sequences": s.eng.DB().NumSequences(),
+		"residues":  s.eng.DB().TotalResidues(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// buildQuery validates one request and assembles the batch query for it.
+func (s *server) buildQuery(req searchRequest, index int) (oasis.BatchQuery, error) {
+	if req.Query == "" {
+		return oasis.BatchQuery{}, fmt.Errorf("query %d: empty query", index)
+	}
+	db := s.eng.DB()
+	residues, err := db.Alphabet().Encode(req.Query)
+	if err != nil {
+		return oasis.BatchQuery{}, fmt.Errorf("query %d: %w", index, err)
+	}
+	if len(residues) == 0 || len(residues) > s.cfg.maxQueryLen {
+		return oasis.BatchQuery{}, fmt.Errorf("query %d: length %d outside 1..%d", index, len(residues), s.cfg.maxQueryLen)
+	}
+	var optFns []oasis.SearchOption
+	switch {
+	case req.MinScore > 0:
+		optFns = append(optFns, oasis.WithMinScore(req.MinScore))
+	case req.EValue > 0:
+		optFns = append(optFns, oasis.WithEValue(req.EValue))
+	default:
+		optFns = append(optFns, oasis.WithEValue(s.cfg.defaultEValue))
+	}
+	if req.Top > 0 {
+		optFns = append(optFns, oasis.WithMaxResults(req.Top))
+	}
+	opts, err := oasis.NewSearchOptions(s.cfg.scheme, db, residues, optFns...)
+	if err != nil {
+		return oasis.BatchQuery{}, fmt.Errorf("query %d: %w", index, err)
+	}
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("q%d", index)
+	}
+	return oasis.BatchQuery{ID: id, Residues: residues, Options: opts}, nil
+}
+
+// handleSearch streams one query's hits as NDJSON in decreasing score order.
+// The request context cancels the search when the client disconnects.
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	q, err := s.buildQuery(req, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamBatch(w, r, []oasis.BatchQuery{q})
+}
+
+// handleBatch streams many queries' hits over one connection; events carry
+// query_id so the client can demultiplex.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no queries"))
+		return
+	}
+	if len(req.Queries) > s.cfg.maxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%d queries exceeds the batch limit %d", len(req.Queries), s.cfg.maxBatch))
+		return
+	}
+	batch := make([]oasis.BatchQuery, len(req.Queries))
+	for i, qr := range req.Queries {
+		q, err := s.buildQuery(qr, i)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch[i] = q
+	}
+	s.streamBatch(w, r, batch)
+}
+
+// streamBatch submits the batch to the warm engine and writes each event as
+// one NDJSON line, flushing per line so hits reach the client online.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, batch []oasis.BatchQuery) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	counts := make([]int, len(batch))
+	for res := range s.eng.SubmitBatch(r.Context(), batch) {
+		ev := hitEvent{QueryID: res.QueryID}
+		if res.Done {
+			ev.Type = "done"
+			ev.Hits = counts[res.Index]
+			ev.ElapsedMs = float64(res.Elapsed.Microseconds()) / 1000
+			st := res.Stats
+			ev.Stats = &st
+			if res.Err != nil {
+				ev.Type = "error"
+				ev.Error = res.Err.Error()
+			}
+		} else {
+			counts[res.Index]++
+			ev.Type = "hit"
+			ev.Rank = res.Hit.Rank
+			ev.SeqID = res.Hit.SeqID
+			ev.Score = res.Hit.Score
+			ev.EValue = res.Hit.EValue
+		}
+		if err := enc.Encode(ev); err != nil {
+			// Client gone: the request context is cancelled with it and the
+			// engine unwinds; just drain the channel.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

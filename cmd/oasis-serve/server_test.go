@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/oasis"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	raw := map[string]string{
+		"CALM_HUMAN":  "ADQLTEEQIAEFKEAFSLFDKDGDGTITTKELGTVMRSLGQNPTEAELQDMINEVDADGNGTIDFPEFLTMMARKM",
+		"TNNC1_HUMAN": "MDDIYKAAVEQLTEEQKNEFKAAFDIFVLGAEDGCISTKELGKVMRMLGQNPTPEELQEMIDEVDEDGSGTVDFDEFLVMMVRCM",
+		"MYG_HUMAN":   "GLSDGEWQLVLNVWGKVEADIPGHGQEVLIRLFKGHPETLEKFDKFKHLKSEDEMKASEDLKKHGATVLTALGGILKKKGHHEAEI",
+		"UNRELATED":   "PPPPGGGGSSSSPPPPGGGGSSSSPPPPGGGGSSSS",
+	}
+	var seqs []oasis.Sequence
+	for id, residues := range raw {
+		seqs = append(seqs, oasis.Sequence{ID: id, Residues: oasis.Protein.MustEncode(residues)})
+	}
+	db, err := oasis.NewDatabase(oasis.Protein, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(eng, serverConfig{scheme: scheme, defaultEValue: 20000, maxBatch: 8})
+}
+
+func decodeNDJSON(t *testing.T, body string) []hitEvent {
+	t.Helper()
+	var events []hitEvent
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev hitEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["shards"].(float64) != 2 {
+		t.Fatalf("healthz = %v", body)
+	}
+}
+
+func TestSearchStreamsDecreasingScores(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/search", strings.NewReader(`{"query":"DKDGDGTITTKE"}`))
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := decodeNDJSON(t, rec.Body.String())
+	if len(events) < 2 {
+		t.Fatalf("expected hits + done, got %d events", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Stats == nil {
+		t.Fatalf("final event = %+v, want done with stats", last)
+	}
+	prev := int(^uint(0) >> 1)
+	hits := 0
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type != "hit" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if ev.Score > prev {
+			t.Fatalf("scores not decreasing: %d after %d", ev.Score, prev)
+		}
+		prev = ev.Score
+		hits++
+	}
+	if last.Hits != hits {
+		t.Fatalf("done counted %d hits, stream had %d", last.Hits, hits)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/search", strings.NewReader(`{"query":"DKDGDGTITTKE","top":1}`))
+	srv.ServeHTTP(rec, req)
+	events := decodeNDJSON(t, rec.Body.String())
+	hits := 0
+	for _, ev := range events {
+		if ev.Type == "hit" {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("top=1 streamed %d hits", hits)
+	}
+}
+
+func TestBatchDemultiplexes(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	body := `{"queries":[{"id":"ef","query":"DKDGDGTITTKE"},{"id":"myo","query":"FDKFKHLK"}]}`
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	events := decodeNDJSON(t, rec.Body.String())
+	lastScore := map[string]int{}
+	done := map[string]bool{}
+	for _, ev := range events {
+		switch ev.Type {
+		case "hit":
+			if prev, ok := lastScore[ev.QueryID]; ok && ev.Score > prev {
+				t.Fatalf("query %q: score order violated", ev.QueryID)
+			}
+			lastScore[ev.QueryID] = ev.Score
+		case "done":
+			done[ev.QueryID] = true
+		default:
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+	if !done["ef"] || !done["myo"] || len(done) != 2 {
+		t.Fatalf("done events = %v", done)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		path, body string
+	}{
+		{"/search", `{"query":""}`},
+		{"/search", `not json`},
+		{"/batch", `{"queries":[]}`},
+		{"/batch", `{"queries":[{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"}]}`},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", c.path, strings.NewReader(c.body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s %q: status %d, want 400", c.path, c.body, rec.Code)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/search", strings.NewReader(`{"query":"DKDGDGTITTKE"}`)))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st oasis.EngineStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesServed != 1 {
+		t.Fatalf("stats = %+v, want 1 query served", st)
+	}
+}

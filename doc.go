@@ -16,8 +16,24 @@
 //     live (non-pruned) band of each column and computes only those cells,
 //     which typically cuts Stats.CellsComputed to a fraction of the
 //     exhaustive sweep on selective searches.
+//   - oasis.NewEngine builds a warm batch query engine (internal/engine):
+//     the sharded index is constructed once, searcher scratch is pooled
+//     per worker (core.Scratch via bufferpool.FreeList), and SubmitBatch
+//     multiplexes many concurrent queries over the shared index while each
+//     query's hit stream stays decreasing-score and cancellable — build
+//     once, serve many.  cmd/oasis-serve is the HTTP/NDJSON front end over
+//     one such engine (see examples/server for the lifecycle), and
+//     oasis-bench's -exp batch records the amortisation win (warm engine
+//     vs full per-query setup) in BENCH_oasis.json.
 //
-// cmd/oasis-bench runs the paper's experiments plus the sharded and
-// live-band measurements and writes a machine-readable BENCH_oasis.json so
+// The search kernels are pinned by a fuzz/golden/race test layer: native Go
+// fuzz targets assert live-band/full-sweep hit identity and the sharded
+// merge's order contract on arbitrary inputs, golden files freeze the
+// Figure-4 workload's hits and work counters, and a -race stress test
+// hammers one warm engine with concurrent batches and mid-stream
+// cancellation.
+//
+// cmd/oasis-bench runs the paper's experiments plus the sharded, live-band
+// and batch measurements and writes a machine-readable BENCH_oasis.json so
 // the performance trajectory is tracked across changes.
 package repro

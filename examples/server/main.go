@@ -1,0 +1,127 @@
+// Warm-engine lifecycle demo: build the OASIS engine ONCE, serve MANY
+// queries over HTTP, stream top-k hits to each client in decreasing score
+// order — the batch-engine pattern behind cmd/oasis-serve, self-contained
+// against an in-process HTTP server so it runs anywhere:
+//
+//	go run ./examples/server
+//
+// The expensive work (suffix-tree construction, shard partitioning) happens
+// exactly once, before the server accepts traffic; every request after that
+// only pays for its own search, with scratch buffers recycled across the
+// query stream.  For the production front end (FASTA loading, batch
+// endpoint, graceful shutdown) run cmd/oasis-serve instead.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/oasis"
+)
+
+func main() {
+	// --- Build once: database -> warm sharded engine -----------------------
+	raw := map[string]string{
+		"CALM_HUMAN":  "ADQLTEEQIAEFKEAFSLFDKDGDGTITTKELGTVMRSLGQNPTEAELQDMINEVDADGNGTIDFPEFLTMMARKM",
+		"TNNC1_HUMAN": "MDDIYKAAVEQLTEEQKNEFKAAFDIFVLGAEDGCISTKELGKVMRMLGQNPTPEELQEMIDEVDEDGSGTVDFDEFLVMMVRCM",
+		"MYG_HUMAN":   "GLSDGEWQLVLNVWGKVEADIPGHGQEVLIRLFKGHPETLEKFDKFKHLKSEDEMKASEDLKKHGATVLTALGGILKKKGHHEAEI",
+		"PARV_HUMAN":  "SMTDLLNAEDIKKAVGAFSATDSFDHKKFFQMVGLKKKSADDVKKVFHMLDKDKSGFIEEDELGFILKGFSPDARDLSAKETKMLM",
+		"UNRELATED":   "PPPPGGGGSSSSPPPPGGGGSSSSPPPPGGGGSSSS",
+	}
+	var seqs []oasis.Sequence
+	for id, residues := range raw {
+		seqs = append(seqs, oasis.Sequence{ID: id, Residues: oasis.Protein.MustEncode(residues)})
+	}
+	db, err := oasis.NewDatabase(oasis.Protein, seqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := time.Now()
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Printf("warm engine: %d sequences, %d shards, built once in %s\n\n",
+		db.NumSequences(), eng.NumShards(), time.Since(build).Round(time.Microsecond))
+
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Serve many: every request reuses the same engine ------------------
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Query string `json:"query"`
+			Top   int    `json:"top"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		query, err := db.Alphabet().Encode(req.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts, err := oasis.NewSearchOptions(scheme, db, query,
+			oasis.WithEValue(20000), oasis.WithMaxResults(req.Top))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		// Stream top-k: hits leave the server strongest-first the moment
+		// OASIS finds them; the client can hang up any time (r.Context()).
+		err = eng.Search(r.Context(), query, opts, func(h oasis.Hit) bool {
+			if err := enc.Encode(map[string]any{"rank": h.Rank, "seq_id": h.SeqID, "score": h.Score}); err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return true
+		})
+		if err != nil {
+			log.Printf("search: %v", err)
+		}
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Shutdown(context.Background())
+	url := "http://" + ln.Addr().String()
+
+	// --- A client streaming top-3 hits for two queries ---------------------
+	for _, q := range []string{"DKDGDGTITTKE", "FDKFKHLK"} {
+		fmt.Printf("query %s -> top 3 (streamed):\n", q)
+		body := fmt.Sprintf(`{"query":%q,"top":3}`, q)
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			fmt.Printf("  %s\n", sc.Text())
+		}
+		resp.Body.Close()
+		fmt.Println()
+	}
+	st := eng.Stats()
+	fmt.Printf("engine lifetime: %d queries served, %d hits, %d DP columns expanded\n",
+		st.QueriesServed, st.HitsReported, st.Search.ColumnsExpanded)
+}

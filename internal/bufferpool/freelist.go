@@ -1,0 +1,74 @@
+package bufferpool
+
+import "sync"
+
+// FreeList is a bounded, concurrency-safe free list of reusable values — the
+// in-memory sibling of the page pool: where Pool amortises disk reads across
+// queries, FreeList amortises scratch allocations (DP columns, searcher
+// state) across the query stream of a warm engine.
+//
+// Get returns a recycled value when one is available and otherwise builds a
+// fresh one with the constructor; Put returns a value for reuse, dropping it
+// when the list is full so an idle engine does not pin an unbounded amount of
+// scratch memory.
+type FreeList[T any] struct {
+	mu     sync.Mutex
+	free   []T
+	max    int
+	newFn  func() T
+	gets   int64
+	reuses int64
+}
+
+// NewFreeList builds a free list holding at most max idle values (max <= 0
+// selects 64).  newFn must not be nil.
+func NewFreeList[T any](max int, newFn func() T) *FreeList[T] {
+	if max <= 0 {
+		max = 64
+	}
+	return &FreeList[T]{max: max, newFn: newFn}
+}
+
+// Get returns a recycled value, or a newly constructed one when the list is
+// empty.
+func (l *FreeList[T]) Get() T {
+	l.mu.Lock()
+	l.gets++
+	if n := len(l.free); n > 0 {
+		l.reuses++
+		v := l.free[n-1]
+		var zero T
+		l.free[n-1] = zero
+		l.free = l.free[:n-1]
+		l.mu.Unlock()
+		return v
+	}
+	l.mu.Unlock()
+	return l.newFn()
+}
+
+// Put returns a value to the list for reuse; values beyond the capacity are
+// dropped.
+func (l *FreeList[T]) Put(v T) {
+	l.mu.Lock()
+	if len(l.free) < l.max {
+		l.free = append(l.free, v)
+	}
+	l.mu.Unlock()
+}
+
+// FreeListStats reports reuse counters for a FreeList.
+type FreeListStats struct {
+	// Gets is the number of Get calls; Reuses how many were served from the
+	// list rather than the constructor.
+	Gets, Reuses int64
+	// Idle is the current number of values waiting for reuse.
+	Idle int
+}
+
+// Stats returns a snapshot of the reuse counters.
+func (l *FreeList[T]) Stats() FreeListStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return FreeListStats{Gets: l.gets, Reuses: l.reuses, Idle: len(l.free)}
+}

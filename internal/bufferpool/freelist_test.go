@@ -1,0 +1,60 @@
+package bufferpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFreeListReuse(t *testing.T) {
+	made := 0
+	l := NewFreeList(2, func() *[]int {
+		made++
+		s := make([]int, 4)
+		return &s
+	})
+	a := l.Get()
+	b := l.Get()
+	if made != 2 {
+		t.Fatalf("expected 2 constructions, got %d", made)
+	}
+	l.Put(a)
+	l.Put(b)
+	_ = l.Get()
+	_ = l.Get()
+	if made != 2 {
+		t.Fatalf("Get after Put should reuse, constructed %d", made)
+	}
+	st := l.Stats()
+	if st.Gets != 4 || st.Reuses != 2 {
+		t.Fatalf("stats = %+v, want Gets=4 Reuses=2", st)
+	}
+}
+
+func TestFreeListBounded(t *testing.T) {
+	l := NewFreeList(1, func() int { return 0 })
+	l.Put(1)
+	l.Put(2) // dropped: list is full
+	if st := l.Stats(); st.Idle != 1 {
+		t.Fatalf("idle = %d, want 1", st.Idle)
+	}
+}
+
+func TestFreeListConcurrent(t *testing.T) {
+	l := NewFreeList(8, func() *int { v := 0; return &v })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := l.Get()
+				*v++
+				l.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := l.Stats(); st.Gets != 1600 {
+		t.Fatalf("gets = %d, want 1600", st.Gets)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fuzzutil"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// fuzzDatabase / fuzzQuery derive search inputs from fuzzer bytes (shared
+// with internal/shard's fuzz target via internal/fuzzutil).
+func fuzzDatabase(a *seq.Alphabet, data []byte) *seq.Database {
+	return fuzzutil.DatabaseFromBytes(a, data)
+}
+
+func fuzzQuery(a *seq.Alphabet, data []byte) []byte {
+	return fuzzutil.QueryFromBytes(a, data, 64)
+}
+
+// FuzzLiveBandEquivalence asserts the live-band DP kernel's core contract on
+// arbitrary inputs: searching with the band must report exactly the hits —
+// same sequences, same scores, same endpoints, same order — as the
+// exhaustive full-column sweep (Options.DisableLiveBand).  Both runs share
+// long-lived Scratches across fuzz iterations, so stale-buffer bugs in the
+// band bookkeeping (cells outside [cLo, cHi] must never be read) surface as
+// mismatches.
+func FuzzLiveBandEquivalence(f *testing.F) {
+	f.Add([]byte("ACGTACGTTTACGGACGT\x00GGGTTTACGT\x00ACACACAC"), []byte("ACGTAC"), uint8(3))
+	f.Add([]byte("TTTTTTTTTT\x00TTTTT"), []byte("TTTT"), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 11, 12, 13, 14}, []byte{5, 6, 7}, uint8(2))
+	scheme := score.MustScheme(score.UnitDNA(), -1)
+	bandScratch := NewScratch()
+	fullScratch := NewScratch()
+	f.Fuzz(func(t *testing.T, dbData, queryData []byte, minByte uint8) {
+		db := fuzzDatabase(seq.DNA, dbData)
+		q := fuzzQuery(seq.DNA, queryData)
+		if db == nil || q == nil {
+			t.Skip()
+		}
+		idx, err := BuildMemoryIndex(db)
+		if err != nil {
+			t.Fatalf("index build: %v", err)
+		}
+		minScore := 1 + int(minByte%12)
+		var bandStats, fullStats Stats
+		band, err := SearchAll(idx, q, Options{
+			Scheme: scheme, MinScore: minScore, Stats: &bandStats, Scratch: bandScratch,
+		})
+		if err != nil {
+			t.Fatalf("band search: %v", err)
+		}
+		full, err := SearchAll(idx, q, Options{
+			Scheme: scheme, MinScore: minScore, Stats: &fullStats,
+			DisableLiveBand: true, Scratch: fullScratch,
+		})
+		if err != nil {
+			t.Fatalf("full-sweep search: %v", err)
+		}
+		if len(band) != len(full) {
+			t.Fatalf("hit count: band %d, full sweep %d (db %q, query %q, minScore %d)",
+				len(band), len(full), dbData, queryData, minScore)
+		}
+		for i := range band {
+			if band[i] != full[i] {
+				t.Fatalf("hit %d differs: band %+v, full sweep %+v (minScore %d)",
+					i, band[i], full[i], minScore)
+			}
+		}
+		if bandStats.CellsComputed > fullStats.CellsComputed {
+			t.Fatalf("band computed MORE cells than the full sweep: %d > %d",
+				bandStats.CellsComputed, fullStats.CellsComputed)
+		}
+		if bandStats.SequencesReported != int64(len(band)) {
+			t.Fatalf("stats report %d sequences, stream had %d", bandStats.SequencesReported, len(band))
+		}
+	})
+}
+
+// FuzzScratchReuseDeterminism asserts that searching with a reused Scratch is
+// bit-identical to searching with fresh buffers, across arbitrary
+// query/database successions (the warm engine's correctness foundation).
+func FuzzScratchReuseDeterminism(f *testing.F) {
+	f.Add([]byte("ACGTACGTTTACGG\x00GGGTTTACGT"), []byte("ACGT"), []byte("GGTTT"))
+	scheme := score.MustScheme(score.UnitDNA(), -1)
+	warm := NewScratch()
+	f.Fuzz(func(t *testing.T, dbData, q1Data, q2Data []byte) {
+		db := fuzzDatabase(seq.DNA, dbData)
+		q1 := fuzzQuery(seq.DNA, q1Data)
+		q2 := fuzzQuery(seq.DNA, q2Data)
+		if db == nil || q1 == nil || q2 == nil {
+			t.Skip()
+		}
+		idx, err := BuildMemoryIndex(db)
+		if err != nil {
+			t.Fatalf("index build: %v", err)
+		}
+		// Run q1 then q2 on the shared warm scratch; each must match a
+		// fresh-scratch run (q1 deliberately pollutes the buffers for q2).
+		for _, q := range [][]byte{q1, q2, q1} {
+			opts := Options{Scheme: scheme, MinScore: 2}
+			fresh, err := SearchAll(idx, q, opts)
+			if err != nil {
+				t.Fatalf("fresh search: %v", err)
+			}
+			opts.Scratch = warm
+			reused, err := SearchAll(idx, q, opts)
+			if err != nil {
+				t.Fatalf("warm search: %v", err)
+			}
+			if len(fresh) != len(reused) {
+				t.Fatalf("hit count: fresh %d, warm %d", len(fresh), len(reused))
+			}
+			for i := range fresh {
+				if fresh[i] != reused[i] {
+					t.Fatalf("hit %d differs: fresh %+v, warm %+v", i, fresh[i], reused[i])
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzHelpersRejectDegenerateInput pins the skip conditions so corpus
+// shrinkage does not silently skip everything.
+func TestFuzzHelpersRejectDegenerateInput(t *testing.T) {
+	if fuzzDatabase(seq.DNA, nil) != nil {
+		t.Fatal("empty data should produce no database")
+	}
+	if fuzzDatabase(seq.DNA, bytes.Repeat([]byte{0}, 10)) != nil {
+		t.Fatal("all-separator data should produce no database")
+	}
+	if db := fuzzDatabase(seq.DNA, []byte("ACGT")); db == nil || db.NumSequences() != 1 {
+		t.Fatal("plain data should produce one sequence")
+	}
+	if fuzzQuery(seq.DNA, nil) != nil {
+		t.Fatal("empty query data should be rejected")
+	}
+}

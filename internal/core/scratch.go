@@ -1,0 +1,72 @@
+package core
+
+import "repro/internal/score"
+
+// Scratch holds every reusable buffer a searcher needs, so a long-running
+// engine can run many queries without re-allocating per query: the reported
+// flags, the DP column scratch pair, the heuristic and profile vectors, the
+// recycled column/node free lists and the priority-queue backing array.
+//
+// A Scratch may be reused across queries of different lengths and across
+// indexes of different sizes (buffers grow on demand and reported flags are
+// cleared lazily), but it must only serve one search at a time: it is NOT
+// safe for concurrent use.  Long-running engines keep one Scratch per worker
+// (see internal/shard and internal/engine).
+type Scratch struct {
+	// reported flags sequences already reported by the current search; the
+	// indexes set to true are recorded in touched so the next search clears
+	// them in O(hits) instead of O(sequences).
+	reported []bool
+	touched  []int
+	// prevBuf/curBuf are the column sweep's scratch pair.
+	prevBuf []int
+	curBuf  []int
+	// h is the heuristic vector buffer; prof the query profile buffer.
+	h    []int
+	prof []int
+	// freeCols/freeNodes recycle column vectors and searchNode structs
+	// across node expansions and across queries.
+	freeCols  [][]int
+	freeNodes []*searchNode
+	// heapItems is the priority queue's backing array.
+	heapItems []*searchNode
+}
+
+// NewScratch returns an empty Scratch; buffers are allocated and grown by the
+// searches that use it.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// acquire prepares the scratch for a new search over a catalog of n sequences
+// and a query of length m: flags left by the previous search are cleared and
+// the fixed-size buffers are grown as needed.
+func (sc *Scratch) acquire(n, m int, matrix *score.Matrix, query []byte) {
+	for _, i := range sc.touched {
+		if i < len(sc.reported) {
+			sc.reported[i] = false
+		}
+	}
+	sc.touched = sc.touched[:0]
+	if len(sc.reported) < n {
+		sc.reported = make([]bool, n)
+	}
+	if cap(sc.prevBuf) < m+1 {
+		sc.prevBuf = make([]int, m+1)
+	}
+	sc.prevBuf = sc.prevBuf[:m+1]
+	if cap(sc.curBuf) < m+1 {
+		sc.curBuf = make([]int, m+1)
+	}
+	sc.curBuf = sc.curBuf[:m+1]
+	sc.h = HeuristicVectorInto(sc.h, query, matrix)
+	width := matrix.Size()
+	need := m * width
+	if cap(sc.prof) < need {
+		sc.prof = make([]int, need)
+	}
+	sc.prof = sc.prof[:need]
+	for i, q := range query {
+		for sym := 0; sym < width; sym++ {
+			sc.prof[i*width+sym] = matrix.Score(q, byte(sym))
+		}
+	}
+}

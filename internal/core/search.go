@@ -31,6 +31,10 @@ type Options struct {
 	// result is identical either way; the flag exists so tests and
 	// benchmarks can quantify the band's CellsComputed reduction.
 	DisableLiveBand bool
+	// Scratch, when non-nil, supplies reusable search buffers so warm
+	// engines avoid per-query allocation.  A Scratch must serve at most one
+	// search at a time; results are identical with or without it.
+	Scratch *Scratch
 }
 
 // Hit is one reported sequence: the strongest local alignment between the
@@ -140,6 +144,7 @@ func Search(idx Index, query []byte, opts Options, report func(Hit) bool) error 
 	if err != nil {
 		return err
 	}
+	defer s.release()
 	return s.run(report)
 }
 
@@ -159,6 +164,7 @@ func SearchStream(idx Index, query []byte, opts Options, report func(Hit) bool, 
 	if err != nil {
 		return err
 	}
+	defer s.release()
 	s.frontier = frontier
 	return s.run(report)
 }
@@ -173,12 +179,16 @@ func SearchAll(idx Index, query []byte, opts Options) ([]Hit, error) {
 	return hits, err
 }
 
-// searcher holds the state of one OASIS search.
+// searcher holds the state of one OASIS search.  Its buffers live in a
+// Scratch (either caller-supplied via Options.Scratch or private to this
+// search) so warm engines can reuse them across queries; release copies the
+// mutable slice headers back when the search finishes.
 type searcher struct {
 	idx      Index
 	cat      Catalog
 	query    []byte
 	opts     Options
+	sc       *Scratch
 	h        []int // heuristic vector, length m+1
 	pq       nodeHeap
 	reported []bool
@@ -227,37 +237,58 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 	if st == nil {
 		st = &Stats{}
 	}
-	s := &searcher{
-		idx:      idx,
-		cat:      cat,
-		query:    query,
-		opts:     opts,
-		h:        HeuristicVector(query, opts.Scheme.Matrix),
-		reported: make([]bool, cat.NumSequences()),
-		stats:    st,
-		prevBuf:  make([]int, len(query)+1),
-		curBuf:   make([]int, len(query)+1),
-	}
 	mat := opts.Scheme.Matrix
-	s.profWidth = mat.Size()
-	s.prof = make([]int, len(query)*s.profWidth)
-	for i, q := range query {
-		for sym := 0; sym < s.profWidth; sym++ {
-			s.prof[i*s.profWidth+sym] = mat.Score(q, byte(sym))
-		}
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
 	}
+	sc.acquire(cat.NumSequences(), len(query), mat, query)
+	s := &searcher{
+		idx:       idx,
+		cat:       cat,
+		query:     query,
+		opts:      opts,
+		sc:        sc,
+		h:         sc.h,
+		reported:  sc.reported[:cat.NumSequences()],
+		stats:     st,
+		prevBuf:   sc.prevBuf,
+		curBuf:    sc.curBuf,
+		freeCols:  sc.freeCols,
+		freeNodes: sc.freeNodes,
+		prof:      sc.prof,
+		profWidth: mat.Size(),
+	}
+	s.pq.items = sc.heapItems[:0]
 	return s, nil
 }
 
-// allocColumn returns a column buffer, reusing one from a popped node when
-// available.
+// release hands the searcher's (possibly reallocated) buffers back to the
+// scratch so the next search over it starts warm.  Safe to call exactly once,
+// on every exit path of Search/SearchStream.
+func (s *searcher) release() {
+	sc := s.sc
+	sc.prevBuf = s.prevBuf
+	sc.curBuf = s.curBuf
+	sc.freeCols = s.freeCols
+	sc.freeNodes = s.freeNodes
+	sc.heapItems = s.pq.items[:0]
+}
+
+// allocColumn returns a column buffer of length len(query)+1, reusing one
+// from a popped node when available.  Recycled columns may come from an
+// earlier query of a different length (scratch reuse), so capacity is checked
+// and too-small buffers are dropped.
 func (s *searcher) allocColumn() []int {
-	if n := len(s.freeCols); n > 0 {
+	want := len(s.query) + 1
+	for n := len(s.freeCols); n > 0; n = len(s.freeCols) {
 		c := s.freeCols[n-1]
 		s.freeCols = s.freeCols[:n-1]
-		return c
+		if cap(c) >= want {
+			return c[:want]
+		}
 	}
-	return make([]int, len(s.query)+1)
+	return make([]int, want)
 }
 
 // recycleColumn returns a node's column buffer to the free list.
@@ -293,7 +324,17 @@ func (s *searcher) recycleNode(n *searchNode) {
 // any target (the suffix sum of each remaining symbol's best possible
 // substitution score, never below zero per symbol).
 func HeuristicVector(query []byte, m *score.Matrix) []int {
-	h := make([]int, len(query)+1)
+	return HeuristicVectorInto(nil, query, m)
+}
+
+// HeuristicVectorInto is HeuristicVector writing into buf (grown as needed),
+// so warm engines can reuse the allocation across queries.
+func HeuristicVectorInto(buf []int, query []byte, m *score.Matrix) []int {
+	if cap(buf) < len(query)+1 {
+		buf = make([]int, len(query)+1)
+	}
+	h := buf[:len(query)+1]
+	h[len(query)] = 0
 	for i := len(query) - 1; i >= 0; i-- {
 		best := m.RowMax(query[i])
 		if best < 0 {
@@ -353,7 +394,7 @@ func (s *searcher) run(report func(Hit) bool) error {
 // where even the full heuristic cannot reach minScore.
 func (s *searcher) rootNode() *searchNode {
 	m := len(s.query)
-	c := make([]int, m+1)
+	c := s.allocColumn()
 	lo, hi := m+1, -1
 	for i := 0; i <= m; i++ {
 		if s.h[i] < s.opts.MinScore {
@@ -626,6 +667,7 @@ func (s *searcher) reportSubtree(n *searchNode, report func(Hit) bool) (bool, er
 			return true
 		}
 		s.reported[seqIdx] = true
+		s.sc.touched = append(s.sc.touched, seqIdx)
 		s.nHits++
 		s.stats.SequencesReported++
 		hit := Hit{

@@ -1,0 +1,292 @@
+// Package engine turns the per-query OASIS machinery into a long-running
+// batch query engine: one warm sharded index (internal/shard) built once,
+// per-worker scratch reuse (internal/core.Scratch pooled through
+// internal/bufferpool.FreeList), and a SubmitBatch API that multiplexes many
+// concurrent queries over the shared index while preserving each query's
+// online decreasing-score hit stream.
+//
+// The paper's value proposition is online search — hits stream out strongest
+// first so clients can stop early — but a cold start per query (index
+// construction, scratch allocation, shard pool spin-up) caps throughput far
+// below what the algorithm allows.  The engine amortises all of that across
+// the query stream: build once, serve many.
+//
+//	eng, _ := engine.New(db, engine.Options{Shards: 8})
+//	results := eng.SubmitBatch(ctx, queries)
+//	for r := range results {
+//	    if r.Done { ... } else { use r.Hit (per-query decreasing score) }
+//	}
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/shard"
+)
+
+// Options configures a warm engine.
+type Options struct {
+	// Shards is the number of database partitions (default 1; capped at the
+	// number of sequences) — see shard.Options.
+	Shards int
+	// ShardWorkers bounds how many shard searches run concurrently within
+	// one query (default: one per shard).
+	ShardWorkers int
+	// BatchWorkers bounds how many queries of a batch are in flight at once
+	// (default GOMAXPROCS).
+	BatchWorkers int
+	// ResultBuffer is the capacity of the channel returned by SubmitBatch
+	// (default 64).  A larger buffer decouples slow consumers from the
+	// search workers.
+	ResultBuffer int
+}
+
+// Query is one unit of work for the engine.
+type Query struct {
+	// ID identifies the query in the multiplexed result stream (batch
+	// results carry both the ID and the batch index, so IDs need not be
+	// unique).
+	ID string
+	// Residues is the encoded query sequence.
+	Residues []byte
+	// Options configures this query's search (MinScore, MaxResults, KA,
+	// DisableLiveBand).  Stats may be nil; the engine accumulates per-query
+	// and engine-wide counters regardless.  Scratch is managed by the
+	// engine and must be nil.
+	Options core.Options
+}
+
+// Result is one event of a batch result stream.  Every query produces zero
+// or more hit events normally followed by exactly one Done event; hit events
+// for one query arrive in decreasing score order (events of different
+// queries interleave arbitrarily).  After the context is cancelled, Done
+// events may be dropped when the consumer has stopped draining — the channel
+// still closes once every query has unwound.
+type Result struct {
+	// QueryID and Index identify the query (Index is its position in the
+	// submitted batch).
+	QueryID string
+	Index   int
+	// Hit is valid when Done is false.
+	Hit core.Hit
+	// Done marks the query's final event; Stats then holds its merged work
+	// counters, Elapsed its wall-clock duration, and Err its terminal error
+	// (context.Canceled after cancellation, nil on normal completion).
+	Done    bool
+	Stats   core.Stats
+	Elapsed time.Duration
+	Err     error
+}
+
+// Engine is a warm, concurrency-safe OASIS query engine: the sharded index
+// is built once and every subsequent query reuses it, along with pooled
+// searcher scratch.  All methods are safe for concurrent use.
+type Engine struct {
+	sharded      *shard.Engine
+	db           *seq.Database
+	batchWorkers int
+	resultBuffer int
+
+	mu            sync.Mutex
+	stats         core.Stats
+	queriesServed int64
+	hitsReported  int64
+	closed        bool
+	// active tracks in-flight work; begin() only Adds under mu while the
+	// engine is open, so Close's Wait cannot race a starting submission.
+	active sync.WaitGroup
+}
+
+// New partitions db, builds one suffix-tree index per shard and returns a
+// warm engine ready to serve queries.
+func New(db *seq.Database, opts Options) (*Engine, error) {
+	sharded, err := shard.NewEngine(db, shard.Options{Shards: opts.Shards, Workers: opts.ShardWorkers})
+	if err != nil {
+		return nil, err
+	}
+	bw := opts.BatchWorkers
+	if bw < 1 {
+		bw = runtime.GOMAXPROCS(0)
+	}
+	rb := opts.ResultBuffer
+	if rb < 1 {
+		rb = 64
+	}
+	return &Engine{
+		sharded:      sharded,
+		db:           db,
+		batchWorkers: bw,
+		resultBuffer: rb,
+	}, nil
+}
+
+// DB returns the database the engine was built over.
+func (e *Engine) DB() *seq.Database { return e.db }
+
+// NumShards returns the number of partitions actually built.
+func (e *Engine) NumShards() int { return e.sharded.NumShards() }
+
+// ShardWorkers returns the per-query shard concurrency bound.
+func (e *Engine) ShardWorkers() int { return e.sharded.Workers() }
+
+// BatchWorkers returns the batch concurrency bound.
+func (e *Engine) BatchWorkers() int { return e.batchWorkers }
+
+// ResultBuffer returns the capacity used for batch result channels.
+func (e *Engine) ResultBuffer() int { return e.resultBuffer }
+
+// Stats returns the engine-wide merged work counters and the number of
+// queries served and hits reported since construction.
+func (e *Engine) Stats() (st core.Stats, queries, hits int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats, e.queriesServed, e.hitsReported
+}
+
+// begin registers one unit of in-flight work, failing when the engine is
+// closed.  The counter increment happens under the same lock that Close uses
+// to flip closed, so a successful begin strictly precedes Close's Wait.
+func (e *Engine) begin() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.active.Add(1)
+	return true
+}
+
+// Close marks the engine closed; subsequent submissions fail.  It does not
+// interrupt in-flight queries (cancel their contexts for that) but waits for
+// them to drain.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.active.Wait()
+	return nil
+}
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = fmt.Errorf("engine: closed")
+
+// Search runs one query on the warm index, streaming hits to report in
+// decreasing score order until report returns false, the context is
+// cancelled, or the search completes.  It returns the query's merged work
+// counters.
+func (e *Engine) Search(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
+	if !e.begin() {
+		return core.Stats{}, ErrClosed
+	}
+	defer e.active.Done()
+	return e.searchOne(ctx, q, report)
+}
+
+func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
+	var st core.Stats
+	opts := q.Options
+	opts.Stats = &st
+	opts.Scratch = nil // scratch is pooled inside the shard engine
+	var hits int64
+	err := e.sharded.Search(q.Residues, opts, func(h core.Hit) bool {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		hits++
+		return report(h)
+	})
+	if err == nil && ctx != nil {
+		err = ctx.Err()
+	}
+	e.mu.Lock()
+	e.stats.Add(st)
+	e.queriesServed++
+	e.hitsReported += hits
+	e.mu.Unlock()
+	if q.Options.Stats != nil {
+		q.Options.Stats.Add(st)
+	}
+	return st, err
+}
+
+// SubmitBatch runs every query of the batch over the warm index, at most
+// BatchWorkers concurrently, and multiplexes their hit streams onto the
+// returned channel.  Each query's hits arrive in decreasing score order and
+// end with one Done event; the channel closes when every query has finished.
+// Cancelling the context stops all in-flight searches; the channel still
+// closes (consumers should drain it).
+func (e *Engine) SubmitBatch(ctx context.Context, queries []Query) <-chan Result {
+	out := make(chan Result, e.resultBuffer)
+	if !e.begin() {
+		go func() {
+			defer close(out)
+			for i, q := range queries {
+				select {
+				case out <- Result{QueryID: q.ID, Index: i, Done: true, Err: ErrClosed}:
+				case <-ctxDone(ctx):
+					return
+				}
+			}
+		}()
+		return out
+	}
+	go func() {
+		defer e.active.Done()
+		defer close(out)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.batchWorkers)
+		for i := range queries {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				e.runQuery(ctx, i, queries[i], out)
+			}(i)
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// runQuery executes one query of a batch, forwarding hits and the final Done
+// event to out.  Sends race the context so a cancelled consumer never blocks
+// a worker.
+func (e *Engine) runQuery(ctx context.Context, index int, q Query, out chan<- Result) {
+	start := time.Now()
+	st, err := e.searchOne(ctx, q, func(h core.Hit) bool {
+		select {
+		case out <- Result{QueryID: q.ID, Index: index, Hit: h}:
+			return true
+		case <-ctxDone(ctx):
+			return false
+		}
+	})
+	done := Result{QueryID: q.ID, Index: index, Done: true, Stats: st, Elapsed: time.Since(start), Err: err}
+	select {
+	case out <- done:
+	case <-ctxDone(ctx):
+		// Cancelled: the consumer may be gone, so only a non-blocking
+		// delivery is safe (see the Result contract — post-cancellation
+		// Done events are best-effort).  The channel still closes once
+		// every worker returns.
+		select {
+		case out <- done:
+		default:
+		}
+	}
+}
+
+// ctxDone tolerates a nil context (SubmitBatch with no cancellation).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

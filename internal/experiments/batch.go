@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// BatchRow is one mode of the batch-engine experiment: the query workload
+// served cold (full engine setup per query), warm sequentially (one engine,
+// one query at a time) and warm batched (one engine, SubmitBatch
+// multiplexing), so the amortisation win and the batching win are separable.
+type BatchRow struct {
+	// Mode is "cold-setup", "warm-sequential" or "warm-batch".
+	Mode string
+	// Queries is how many queries this mode actually ran (cold mode samples
+	// the workload: rebuilding the index per query is the expensive thing
+	// being measured).
+	Queries int
+	// QueryTime is the mean wall-clock time per query, including each
+	// query's share of engine setup.
+	QueryTime time.Duration
+	// QueriesPerSec is the serving throughput of the mode.
+	QueriesPerSec float64
+	// Hits is the total number of sequences reported.
+	Hits int64
+	// BuildTime is the one-off engine construction cost (cold mode: mean
+	// per-query construction cost, which its QueryTime includes).
+	BuildTime time.Duration
+	// Speedup is this mode's QueriesPerSec over the cold-setup row's.
+	Speedup float64
+}
+
+// Batch measures what the warm engine buys: the same workload served with
+// full per-query setup versus over one long-lived engine.  shardWorkers and
+// batchWorkers <= 0 select the engine defaults.
+func Batch(lab *Lab, shards, shardWorkers, batchWorkers int) ([]BatchRow, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	engOpts := engine.Options{Shards: shards, ShardWorkers: shardWorkers, BatchWorkers: batchWorkers}
+	queries := make([]engine.Query, len(lab.Queries))
+	for i, q := range lab.Queries {
+		queries[i] = engine.Query{
+			ID:       q.ID,
+			Residues: q.Residues,
+			Options: core.Options{
+				Scheme:   lab.Scheme,
+				MinScore: lab.minScoreFor(lab.Config.EValue, len(q.Residues)),
+			},
+		}
+	}
+	ctx := context.Background()
+	var rows []BatchRow
+
+	// Cold: a fresh engine per query, the pre-batch serving pattern.  The
+	// workload is sampled; per-query cost is what matters.
+	sample := queries
+	if len(sample) > 8 {
+		sample = sample[:8]
+	}
+	var coldHits int64
+	var coldBuild time.Duration
+	coldStart := time.Now()
+	for _, q := range sample {
+		buildStart := time.Now()
+		eng, err := engine.New(lab.DB, engOpts)
+		if err != nil {
+			return nil, err
+		}
+		coldBuild += time.Since(buildStart)
+		if _, err := eng.Search(ctx, q, func(core.Hit) bool { coldHits++; return true }); err != nil {
+			return nil, err
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+	}
+	coldElapsed := time.Since(coldStart)
+	cold := BatchRow{
+		Mode:          "cold-setup",
+		Queries:       len(sample),
+		QueryTime:     coldElapsed / time.Duration(len(sample)),
+		QueriesPerSec: float64(len(sample)) / coldElapsed.Seconds(),
+		Hits:          coldHits,
+		BuildTime:     coldBuild / time.Duration(len(sample)),
+		Speedup:       1,
+	}
+	rows = append(rows, cold)
+
+	// Warm: one engine for the whole stream.
+	buildStart := time.Now()
+	eng, err := engine.New(lab.DB, engOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	warmBuild := time.Since(buildStart)
+
+	var seqHits int64
+	seqStart := time.Now()
+	for _, q := range queries {
+		if _, err := eng.Search(ctx, q, func(core.Hit) bool { seqHits++; return true }); err != nil {
+			return nil, err
+		}
+	}
+	seqElapsed := time.Since(seqStart)
+	rows = append(rows, BatchRow{
+		Mode:          "warm-sequential",
+		Queries:       len(queries),
+		QueryTime:     seqElapsed / time.Duration(len(queries)),
+		QueriesPerSec: float64(len(queries)) / seqElapsed.Seconds(),
+		Hits:          seqHits,
+		BuildTime:     warmBuild,
+		Speedup:       (float64(len(queries)) / seqElapsed.Seconds()) / cold.QueriesPerSec,
+	})
+
+	var batchHits int64
+	batchStart := time.Now()
+	for r := range eng.SubmitBatch(ctx, queries) {
+		if r.Done {
+			if r.Err != nil {
+				return nil, fmt.Errorf("experiments: batch query %s: %w", r.QueryID, r.Err)
+			}
+			continue
+		}
+		batchHits++
+	}
+	batchElapsed := time.Since(batchStart)
+	if batchHits != seqHits {
+		return nil, fmt.Errorf("experiments: batch reported %d hits, sequential %d", batchHits, seqHits)
+	}
+	rows = append(rows, BatchRow{
+		Mode:          "warm-batch",
+		Queries:       len(queries),
+		QueryTime:     batchElapsed / time.Duration(len(queries)),
+		QueriesPerSec: float64(len(queries)) / batchElapsed.Seconds(),
+		Hits:          batchHits,
+		BuildTime:     warmBuild,
+		Speedup:       (float64(len(queries)) / batchElapsed.Seconds()) / cold.QueriesPerSec,
+	})
+	return rows, nil
+}
+
+// RenderBatch writes the batch-engine experiment as a text table.
+func RenderBatch(w io.Writer, rows []BatchRow) {
+	fmt.Fprintln(w, "Batch query engine — per-query setup vs one warm engine (same hits per query)")
+	fmt.Fprintf(w, "%-16s %-9s %-14s %-12s %-10s %-12s %-8s\n",
+		"mode", "queries", "time/query", "queries/s", "hits", "build", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-9d %-14s %-12.2f %-10d %-12s %-8.2f\n",
+			r.Mode, r.Queries, fmtDur(r.QueryTime), r.QueriesPerSec, r.Hits, fmtDur(r.BuildTime), r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

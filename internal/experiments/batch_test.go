@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestBatchExperiment runs the batch-engine experiment on a tiny workload and
+// checks its structural invariants: three modes, identical warm hit counts,
+// and a warm speedup over per-query engine setup.
+func TestBatchExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalResidues = 20_000
+	cfg.NumQueries = 6
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+
+	rows, err := Batch(lab, 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Mode != "cold-setup" || rows[1].Mode != "warm-sequential" || rows[2].Mode != "warm-batch" {
+		t.Fatalf("unexpected modes: %v, %v, %v", rows[0].Mode, rows[1].Mode, rows[2].Mode)
+	}
+	if rows[1].Hits != rows[2].Hits {
+		t.Fatalf("warm modes disagree on hits: %d vs %d", rows[1].Hits, rows[2].Hits)
+	}
+	for _, r := range rows {
+		if r.Queries <= 0 || r.QueriesPerSec <= 0 {
+			t.Fatalf("row %q has no throughput: %+v", r.Mode, r)
+		}
+	}
+	// The warm engine must beat per-query setup (the tentpole's reason to
+	// exist); on any real workload the margin is far larger than 1x.
+	if rows[1].Speedup <= 1 {
+		t.Fatalf("warm-sequential speedup %.2f, want > 1", rows[1].Speedup)
+	}
+}

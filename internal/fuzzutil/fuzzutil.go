@@ -1,0 +1,52 @@
+// Package fuzzutil derives well-formed search inputs from arbitrary fuzzer
+// bytes, shared by the fuzz targets in internal/core and internal/shard so
+// both explore the same input space.
+package fuzzutil
+
+import "repro/internal/seq"
+
+// DatabaseFromBytes maps fuzz bytes to a small database: every byte becomes
+// an alphabet letter, except that a data-dependent subset of bytes acts as
+// sequence separators, so the fuzzer controls both content and shape.
+// Returns nil when the bytes yield no non-empty sequence (or an absurd
+// number of them).
+func DatabaseFromBytes(a *seq.Alphabet, data []byte) *seq.Database {
+	letters := a.Letters()
+	var strs []string
+	var cur []byte
+	for _, b := range data {
+		if b%13 == 0 {
+			if len(cur) > 0 {
+				strs = append(strs, string(cur))
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, letters[int(b)%len(letters)])
+	}
+	if len(cur) > 0 {
+		strs = append(strs, string(cur))
+	}
+	if len(strs) == 0 || len(strs) > 64 {
+		return nil
+	}
+	db, err := seq.DatabaseFromStrings(a, strs...)
+	if err != nil {
+		return nil
+	}
+	return db
+}
+
+// QueryFromBytes maps fuzz bytes to an encoded query over the alphabet,
+// rejecting empty or over-long inputs.
+func QueryFromBytes(a *seq.Alphabet, data []byte, maxLen int) []byte {
+	if len(data) == 0 || len(data) > maxLen {
+		return nil
+	}
+	letters := a.Letters()
+	q := make([]byte, len(data))
+	for i, b := range data {
+		q[i], _ = a.Code(letters[int(b)%len(letters)])
+	}
+	return q
+}

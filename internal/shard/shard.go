@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/score"
 	"repro/internal/seq"
@@ -39,13 +40,19 @@ type Options struct {
 	Workers int
 }
 
-// Engine is a sharded OASIS search engine over one logical database.
+// Engine is a sharded OASIS search engine over one logical database.  It is
+// safe for concurrent use: the indexes are immutable after construction and
+// every search draws its scratch buffers from a shared bounded free list, so
+// a long-running engine (internal/engine) can multiplex many queries over
+// one warm Engine without per-query allocation.
 type Engine struct {
 	indexes []*core.MemoryIndex
 	globals [][]int // shard-local sequence index -> global index
 	workers int
 	total   int64 // global residue count, for E-values
 	queryAl *seq.Alphabet
+	// scratch recycles per-shard searcher state across queries.
+	scratch *bufferpool.FreeList[*core.Scratch]
 }
 
 // NewEngine partitions db into opts.Shards shards balanced by residue count
@@ -75,8 +82,15 @@ func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 	if e.workers < 1 || e.workers > len(e.indexes) {
 		e.workers = len(e.indexes)
 	}
+	// Hold enough idle scratches for a few concurrent queries, each using
+	// one scratch per shard search.
+	e.scratch = bufferpool.NewFreeList(4*len(e.indexes), core.NewScratch)
 	return e, nil
 }
+
+// ScratchStats reports how often shard searches reused pooled scratch
+// buffers instead of allocating fresh ones.
+func (e *Engine) ScratchStats() bufferpool.FreeListStats { return e.scratch.Stats() }
 
 // NumShards returns the number of partitions.
 func (e *Engine) NumShards() int { return len(e.indexes) }
@@ -115,6 +129,11 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 		// One shard is the single-index search; skip the merge machinery.
 		globals := e.globals[0]
 		n := 0
+		if opts.Scratch == nil {
+			sc := e.scratch.Get()
+			opts.Scratch = sc
+			defer e.scratch.Put(sc)
+		}
 		return core.Search(e.indexes[0], query, opts, func(h core.Hit) bool {
 			h.SeqIndex = globals[h.SeqIndex]
 			n++
@@ -175,6 +194,12 @@ func (e *Engine) runShard(s int, query []byte, opts core.Options, events chan<- 
 	// E-values depend on the global database size; they are attached by the
 	// merger, not the shard.
 	shardOpts.KA = nil
+	// Each shard search gets its own pooled scratch (a Scratch serves one
+	// search at a time); the caller's Scratch cannot be shared by the
+	// concurrent shard goroutines.
+	sc := e.scratch.Get()
+	shardOpts.Scratch = sc
+	defer e.scratch.Put(sc)
 	lastBound := int(^uint(0) >> 1) // MaxInt
 	err := core.SearchStream(e.indexes[s], query, shardOpts,
 		func(h core.Hit) bool {

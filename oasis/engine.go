@@ -1,0 +1,199 @@
+package oasis
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// EngineOptions configures a warm batch query engine.
+type EngineOptions struct {
+	// Shards is the number of database partitions (default 1; capped at the
+	// number of sequences).
+	Shards int
+	// ShardWorkers bounds how many shard searches run concurrently within
+	// one query (default: one per shard).
+	ShardWorkers int
+	// BatchWorkers bounds how many queries of one batch are in flight at a
+	// time (default GOMAXPROCS).
+	BatchWorkers int
+	// ResultBuffer is the capacity of batch result channels (default 64).
+	ResultBuffer int
+}
+
+// Engine is a warm, long-running OASIS query engine: the sharded suffix-tree
+// index is built once and every subsequent query reuses it together with
+// pooled searcher scratch, amortising engine setup across the query stream.
+// All methods are safe for concurrent use — many goroutines may submit
+// queries and batches against one Engine.
+//
+// Per query, the paper's online property is preserved: hits stream out in
+// decreasing score order, so clients can stop early (context cancellation or
+// returning false from the report callback).
+//
+//	db, _ := oasis.LoadFASTA("swissprot.fasta", oasis.Protein)
+//	eng, _ := oasis.NewEngine(db, oasis.EngineOptions{Shards: 8})
+//	defer eng.Close()
+//	for r := range eng.SubmitBatch(ctx, batch) {
+//	    if !r.Done {
+//	        fmt.Println(r.QueryID, r.Hit.SeqID, r.Hit.Score)
+//	    }
+//	}
+//
+// cmd/oasis-serve wraps an Engine in an HTTP front end; examples/server
+// shows the full build-once-serve-many lifecycle.
+type Engine struct {
+	eng *engine.Engine
+	db  *Database
+}
+
+// NewEngine builds the warm engine over db: the database is partitioned into
+// opts.Shards shards, each indexed once.
+func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
+	eng, err := engine.New(db, engine.Options{
+		Shards:       opts.Shards,
+		ShardWorkers: opts.ShardWorkers,
+		BatchWorkers: opts.BatchWorkers,
+		ResultBuffer: opts.ResultBuffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, db: db}, nil
+}
+
+// DB returns the database the engine serves.
+func (e *Engine) DB() *Database { return e.db }
+
+// NumShards returns the number of partitions actually built.
+func (e *Engine) NumShards() int { return e.eng.NumShards() }
+
+// BatchWorkers returns the batch concurrency bound.
+func (e *Engine) BatchWorkers() int { return e.eng.BatchWorkers() }
+
+// Close marks the engine closed and waits for in-flight queries to drain.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+// EngineStats is a snapshot of an engine's lifetime counters.
+type EngineStats struct {
+	// Search is the merged work counters across every query served.
+	Search SearchStats
+	// QueriesServed and HitsReported count the engine's lifetime traffic.
+	QueriesServed int64
+	HitsReported  int64
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *Engine) Stats() EngineStats {
+	st, queries, hits := e.eng.Stats()
+	return EngineStats{Search: st, QueriesServed: queries, HitsReported: hits}
+}
+
+// BatchQuery is one query of a batch.
+type BatchQuery struct {
+	// ID identifies the query in the multiplexed result stream.
+	ID string
+	// Residues is the encoded query (use Alphabet.Encode / MustEncode).
+	Residues []byte
+	// Options configures the search (build with NewSearchOptions).
+	Options SearchOptions
+}
+
+// BatchResult is one event of a batch result stream: a hit for one query, or
+// that query's final Done event.  Hits of one query arrive in decreasing
+// score order; events of different queries interleave.  After cancellation,
+// Done events are best-effort (the channel still closes).
+type BatchResult struct {
+	// QueryID and Index identify the query (Index is its position in the
+	// submitted batch).
+	QueryID string
+	Index   int
+	// Hit is valid when Done is false.
+	Hit Hit
+	// Done marks the query's last event; Stats then holds its work
+	// counters, Elapsed its wall-clock duration, and Err its terminal error
+	// (nil on normal completion).
+	Done    bool
+	Stats   SearchStats
+	Elapsed time.Duration
+	Err     error
+}
+
+// SubmitBatch runs every query over the warm index, at most BatchWorkers
+// concurrently, multiplexing the hit streams onto the returned channel.  The
+// channel closes when every query has produced its Done event.  Cancelling
+// ctx stops all in-flight searches; consumers should drain the channel.
+func (e *Engine) SubmitBatch(ctx context.Context, queries []BatchQuery) <-chan BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in := make([]engine.Query, len(queries))
+	for i, q := range queries {
+		in[i] = engine.Query{ID: q.ID, Residues: q.Residues, Options: coreOptions(q.Options)}
+	}
+	out := make(chan BatchResult, e.eng.ResultBuffer())
+	go func() {
+		defer close(out)
+		for r := range e.eng.SubmitBatch(ctx, in) {
+			br := BatchResult{
+				QueryID: r.QueryID,
+				Index:   r.Index,
+				Hit:     r.Hit,
+				Done:    r.Done,
+				Stats:   r.Stats,
+				Elapsed: r.Elapsed,
+				Err:     r.Err,
+			}
+			select {
+			case out <- br:
+			case <-ctx.Done():
+				// The consumer may have stopped draining; forward
+				// best-effort and keep draining the engine stream so this
+				// goroutine cannot leak.
+				select {
+				case out <- br:
+				default:
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// Search runs one query on the warm engine, streaming hits to report in
+// decreasing score order; return false from report (or cancel ctx) to stop
+// early.
+func (e *Engine) Search(ctx context.Context, query []byte, opts SearchOptions, report func(Hit) bool) error {
+	_, err := e.eng.Search(ctx, engine.Query{Residues: query, Options: coreOptions(opts)}, report)
+	return err
+}
+
+// SearchAll runs Search and collects every hit.
+func (e *Engine) SearchAll(ctx context.Context, query []byte, opts SearchOptions) ([]Hit, error) {
+	var hits []Hit
+	err := e.Search(ctx, query, opts, func(h Hit) bool {
+		hits = append(hits, h)
+		return true
+	})
+	return hits, err
+}
+
+// RecoverAlignment reconstructs the full alignment for a hit reported by
+// this engine.
+func (e *Engine) RecoverAlignment(query []byte, scheme Scheme, h Hit) (Alignment, error) {
+	return core.RecoverAlignmentCatalog(core.NewDatabaseCatalog(e.db), query, scheme, h)
+}
+
+// coreOptions translates the public search options into internal ones.
+func coreOptions(opts SearchOptions) core.Options {
+	return core.Options{
+		Scheme:          opts.Scheme,
+		MinScore:        opts.MinScore,
+		MaxResults:      opts.MaxResults,
+		KA:              opts.KA,
+		Stats:           opts.Stats,
+		DisableLiveBand: opts.DisableLiveBand,
+	}
+}

@@ -1,0 +1,146 @@
+package oasis_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/oasis"
+)
+
+func engineTestDB(t *testing.T) *oasis.Database {
+	t.Helper()
+	raw := map[string]string{
+		"CALM_HUMAN":  "ADQLTEEQIAEFKEAFSLFDKDGDGTITTKELGTVMRSLGQNPTEAELQDMINEVDADGNGTIDFPEFLTMMARKM",
+		"TNNC1_HUMAN": "MDDIYKAAVEQLTEEQKNEFKAAFDIFVLGAEDGCISTKELGKVMRMLGQNPTPEELQEMIDEVDEDGSGTVDFDEFLVMMVRCM",
+		"MYG_HUMAN":   "GLSDGEWQLVLNVWGKVEADIPGHGQEVLIRLFKGHPETLEKFDKFKHLKSEDEMKASEDLKKHGATVLTALGGILKKKGHHEAEI",
+		"PARV_HUMAN":  "SMTDLLNAEDIKKAVGAFSATDSFDHKKFFQMVGLKKKSADDVKKVFHMLDKDKSGFIEEDELGFILKGFSPDARDLSAKETKMLM",
+		"UNRELATED":   "PPPPGGGGSSSSPPPPGGGGSSSSPPPPGGGGSSSS",
+	}
+	var seqs []oasis.Sequence
+	for id, residues := range raw {
+		seqs = append(seqs, oasis.Sequence{ID: id, Residues: oasis.Protein.MustEncode(residues)})
+	}
+	db, err := oasis.NewDatabase(oasis.Protein, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestEngineMatchesSingleIndex pins the warm engine to the one-shot Search
+// API: same hits, same order, across repeated submissions (scratch reuse must
+// not leak state between queries).
+func TestEngineMatchesSingleIndex(t *testing.T) {
+	db := engineTestDB(t)
+	idx, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{
+		oasis.Protein.MustEncode("DKDGDGTITTKE"),
+		oasis.Protein.MustEncode("KETKMLM"),
+		oasis.Protein.MustEncode("GQNPT"),
+	}
+	for round := 0; round < 3; round++ { // repeat: warm paths must stay correct
+		for _, q := range queries {
+			opts, err := oasis.NewSearchOptions(scheme, db, q, oasis.WithEValue(20000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oasis.SearchAll(idx, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.SearchAll(context.Background(), q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d: engine returned %d hits, single index %d", round, len(got), len(want))
+			}
+			// Equal-score hits may interleave differently across shards; the
+			// score sequence and the hit set must match exactly.
+			wantSet := map[int]int{}
+			for i := range got {
+				if got[i].Score != want[i].Score {
+					t.Fatalf("round %d hit %d: score %d, want %d", round, i, got[i].Score, want[i].Score)
+				}
+				wantSet[want[i].SeqIndex] = want[i].Score
+			}
+			for _, h := range got {
+				if wantSet[h.SeqIndex] != h.Score {
+					t.Fatalf("round %d: unexpected hit %+v", round, h)
+				}
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.QueriesServed != int64(3*len(queries)) {
+		t.Fatalf("engine served %d queries, want %d", st.QueriesServed, 3*len(queries))
+	}
+}
+
+// TestEngineSubmitBatch exercises the public batch API end to end, including
+// per-query decreasing-score order and Done bookkeeping.
+func TestEngineSubmitBatch(t *testing.T) {
+	db := engineTestDB(t)
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2, BatchWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []oasis.BatchQuery
+	for _, s := range []string{"DKDGDGTITTKE", "KETKMLM", "GQNPT", "FDKFKHLK"} {
+		q := oasis.Protein.MustEncode(s)
+		opts, err := oasis.NewSearchOptions(scheme, db, q, oasis.WithEValue(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, oasis.BatchQuery{ID: s, Residues: q, Options: opts})
+	}
+	last := map[int]int{}
+	done := map[int]bool{}
+	for r := range eng.SubmitBatch(context.Background(), batch) {
+		if r.Done {
+			if r.Err != nil {
+				t.Fatalf("query %q failed: %v", r.QueryID, r.Err)
+			}
+			done[r.Index] = true
+			continue
+		}
+		if prev, ok := last[r.Index]; ok && r.Hit.Score > prev {
+			t.Fatalf("query %q: score order violated (%d after %d)", r.QueryID, r.Hit.Score, prev)
+		}
+		last[r.Index] = r.Hit.Score
+		if batch[r.Index].ID != r.QueryID {
+			t.Fatalf("result carries ID %q for index %d, want %q", r.QueryID, r.Index, batch[r.Index].ID)
+		}
+	}
+	if len(done) != len(batch) {
+		t.Fatalf("%d Done events, want %d", len(done), len(batch))
+	}
+	// Mid-stream cancellation: the channel must close promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	for range eng.SubmitBatch(ctx, batch) {
+		n++
+		if n == 2 {
+			cancel()
+		}
+	}
+	cancel()
+}

@@ -246,14 +246,7 @@ func NewSearchOptions(scheme Scheme, db *Database, query []byte, opts ...SearchO
 // Search runs the OASIS algorithm and streams hits to report in decreasing
 // score order; return false from report to stop early.
 func Search(idx Index, query []byte, opts SearchOptions, report func(Hit) bool) error {
-	return core.Search(idx, query, core.Options{
-		Scheme:          opts.Scheme,
-		MinScore:        opts.MinScore,
-		MaxResults:      opts.MaxResults,
-		KA:              opts.KA,
-		Stats:           opts.Stats,
-		DisableLiveBand: opts.DisableLiveBand,
-	}, report)
+	return core.Search(idx, query, coreOptions(opts), report)
 }
 
 // SearchAll runs Search and collects every hit.

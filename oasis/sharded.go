@@ -57,14 +57,7 @@ func (x *ShardedIndex) Workers() int { return x.engine.Workers() }
 // Per-shard work counters are merged into opts.Stats; return false from
 // report to stop early.
 func (x *ShardedIndex) Search(query []byte, opts SearchOptions, report func(Hit) bool) error {
-	return x.engine.Search(query, core.Options{
-		Scheme:          opts.Scheme,
-		MinScore:        opts.MinScore,
-		MaxResults:      opts.MaxResults,
-		KA:              opts.KA,
-		Stats:           opts.Stats,
-		DisableLiveBand: opts.DisableLiveBand,
-	}, report)
+	return x.engine.Search(query, coreOptions(opts), report)
 }
 
 // RecoverAlignment reconstructs the full alignment for a hit reported by
@@ -76,12 +69,5 @@ func (x *ShardedIndex) RecoverAlignment(query []byte, scheme Scheme, h Hit) (Ali
 
 // SearchAll runs Search and collects every hit.
 func (x *ShardedIndex) SearchAll(query []byte, opts SearchOptions) ([]Hit, error) {
-	return x.engine.SearchAll(query, core.Options{
-		Scheme:          opts.Scheme,
-		MinScore:        opts.MinScore,
-		MaxResults:      opts.MaxResults,
-		KA:              opts.KA,
-		Stats:           opts.Stats,
-		DisableLiveBand: opts.DisableLiveBand,
-	})
+	return x.engine.SearchAll(query, coreOptions(opts))
 }
