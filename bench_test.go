@@ -414,31 +414,38 @@ func BenchmarkAblationBLASTTwoHit(b *testing.B) {
 
 // BenchmarkShardedSearch measures workload throughput through the sharded
 // engine (one searcher per partition, order-preserving merge) at increasing
-// shard counts.  The shards=1 case is the single-index baseline for the
-// speedup comparison; real scaling requires >1 CPU (the merge preserves the
-// decreasing-score guarantee, so on a single core the sharded engine pays
-// duplicated near-root expansion with no parallelism to offset it).
+// shard counts, in both partition modes.  The sequence/shards=1 case is the
+// single-index baseline for the speedup comparison; real scaling requires
+// >1 CPU.  The columns/query metric is the point of the comparison:
+// sequence-partitioned shards duplicate near-root expansion (columns grow
+// with the shard count) while prefix-partitioned shards share one frontier
+// (columns stay flat at the 1-shard count).
 func BenchmarkShardedSearch(b *testing.B) {
 	l, _ := benchLab(b)
-	for _, nShards := range []int{1, 2, 4, 8} {
-		nShards := nShards
-		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
-			eng, err := shard.NewEngine(l.DB, shard.Options{Shards: nShards})
-			if err != nil {
-				b.Fatal(err)
-			}
-			qs := benchScoredQueries(l, l.Config.EValue)
-			var st core.Stats
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				q := qs[i%len(qs)]
-				if _, err := eng.SearchAll(q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore, Stats: &st}); err != nil {
+	for _, pm := range []struct {
+		name string
+		mode shard.PartitionMode
+	}{{"sequence", shard.PartitionBySequence}, {"prefix", shard.PartitionByPrefix}} {
+		for _, nShards := range []int{1, 2, 4, 8} {
+			pm, nShards := pm, nShards
+			b.Run(fmt.Sprintf("%s/shards=%d", pm.name, nShards), func(b *testing.B) {
+				eng, err := shard.NewEngine(l.DB, shard.Options{Shards: nShards, Partition: pm.mode})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.ReportMetric(float64(st.ColumnsExpanded)/float64(b.N), "columns/query")
-			b.ReportMetric(float64(st.CellsComputed)/float64(b.N), "cells/query")
-		})
+				qs := benchScoredQueries(l, l.Config.EValue)
+				var st core.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := qs[i%len(qs)]
+					if _, err := eng.SearchAll(q.residues, core.Options{Scheme: l.Scheme, MinScore: q.minScore, Stats: &st}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.ColumnsExpanded)/float64(b.N), "columns/query")
+				b.ReportMetric(float64(st.CellsComputed)/float64(b.N), "cells/query")
+			})
+		}
 	}
 }
 

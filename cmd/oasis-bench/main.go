@@ -28,20 +28,22 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch or all")
-		residues = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
-		queries  = flag.Int("queries", 60, "number of motif queries")
-		eValue   = flag.Float64("evalue", 20000, "selectivity (E-value)")
-		matrix   = flag.String("matrix", "PAM30", "substitution matrix")
-		gap      = flag.Int("gap", -10, "linear gap penalty")
-		block    = flag.Int("block", 2048, "index block size")
-		poolMB   = flag.Int64("pool", 64, "buffer pool size in MB for the non-sweep experiments")
-		seed     = flag.Int64("seed", 1309, "workload seed")
-		queryStr = flag.String("query", "", "explicit query for fig9 (defaults to a ~13-residue workload query)")
-		dir      = flag.String("dir", "", "directory for index files (default: temp dir, removed afterwards)")
-		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp sharded")
-		workers  = flag.Int("workers", 0, "worker-pool bound for the sharded engine (0 = one per shard)")
-		jsonPath = flag.String("json", "BENCH_oasis.json", "machine-readable benchmark report path (empty = skip)")
+		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch or all")
+		residues     = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
+		queries      = flag.Int("queries", 60, "number of motif queries")
+		eValue       = flag.Float64("evalue", 20000, "selectivity (E-value)")
+		matrix       = flag.String("matrix", "PAM30", "substitution matrix")
+		gap          = flag.Int("gap", -10, "linear gap penalty")
+		block        = flag.Int("block", 2048, "index block size")
+		poolMB       = flag.Int64("pool", 64, "buffer pool size in MB for the non-sweep experiments")
+		seed         = flag.Int64("seed", 1309, "workload seed")
+		queryStr     = flag.String("query", "", "explicit query for fig9 (defaults to a ~13-residue workload query)")
+		dir          = flag.String("dir", "", "directory for index files (default: temp dir, removed afterwards)")
+		shards       = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp sharded")
+		workers      = flag.Int("workers", 0, "worker-pool bound for the sharded engine (0 = one per shard)")
+		jsonPath     = flag.String("json", "BENCH_oasis.json", "machine-readable benchmark report path (empty = skip)")
+		prefixBudget = flag.Float64("prefix-budget", 0,
+			"fail -exp sharded when prefix-partitioned ColumnsExpanded exceeds this ratio of the 1-shard baseline (0 = no check; CI uses 1.05)")
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 	}
 	shardCounts, err := parseShardCounts(*shards)
 	if err == nil {
-		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath)
+		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath, *prefixBudget)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-bench:", err)
@@ -85,7 +87,7 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string) error {
+func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string, prefixBudget float64) error {
 	selected := map[string]bool{}
 	for _, e := range strings.Split(exps, ",") {
 		selected[strings.TrimSpace(strings.ToLower(e))] = true
@@ -179,8 +181,12 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 		}
 		experiments.RenderSharded(out, rows)
 		for _, r := range rows {
+			name := fmt.Sprintf("sharded/shards=%d", r.Shards)
+			if r.Mode == "prefix" {
+				name = fmt.Sprintf("sharded/prefix/shards=%d", r.Shards)
+			}
 			report.Records = append(report.Records, experiments.BenchRecord{
-				Name:            fmt.Sprintf("sharded/shards=%d", r.Shards),
+				Name:            name,
 				NsPerOp:         float64(r.QueryTime),
 				ColumnsExpanded: r.ColumnsExpanded,
 				CellsComputed:   r.CellsComputed,
@@ -190,6 +196,12 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 					"hits":    float64(r.Hits),
 				},
 			})
+		}
+		if prefixBudget > 0 {
+			if err := experiments.CheckPrefixColumns(rows, prefixBudget); err != nil {
+				return err
+			}
+			fmt.Printf("prefix-sharded ColumnsExpanded within %.2fx of the 1-shard baseline\n", prefixBudget)
 		}
 	}
 	if want("liveband") {

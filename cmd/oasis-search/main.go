@@ -41,6 +41,7 @@ type config struct {
 	poolMB    int64
 	shards    int
 	workers   int
+	prefix    bool
 	verbose   bool
 }
 
@@ -60,6 +61,7 @@ func main() {
 	flag.Int64Var(&cfg.poolMB, "pool", 256, "buffer pool size in MB (for -algo oasis)")
 	flag.IntVar(&cfg.shards, "shards", 0, "search a sharded in-memory index with this many partitions (requires -db; 0 = use -index)")
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent shard searches for -shards (0 = one per shard)")
+	flag.BoolVar(&cfg.prefix, "prefix-sharding", false, "partition -shards by suffix-tree prefix over one shared index instead of by sequence")
 	flag.BoolVar(&cfg.verbose, "v", false, "print full alignments")
 	flag.Parse()
 
@@ -183,12 +185,20 @@ func runSharded(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries 
 		return err
 	}
 	build := time.Now()
-	idx, err := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: cfg.shards, Workers: cfg.workers})
+	idx, err := oasis.NewShardedIndex(db, oasis.ShardOptions{
+		Shards:            cfg.shards,
+		Workers:           cfg.workers,
+		PartitionByPrefix: cfg.prefix,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# sharded index: %d shards, %d workers, built in %s\n",
-		idx.NumShards(), idx.Workers(), time.Since(build).Round(time.Millisecond))
+	partition := "by-sequence"
+	if cfg.prefix {
+		partition = "by-prefix"
+	}
+	fmt.Printf("# sharded index: %d shards (%s), %d workers, built in %s\n",
+		idx.NumShards(), partition, idx.Workers(), time.Since(build).Round(time.Millisecond))
 	for _, q := range queries {
 		minScore := cfg.minScore
 		var ka *oasis.KarlinAltschul

@@ -8,9 +8,13 @@
 //
 //	GET  /healthz  liveness + database shape
 //	GET  /stats    lifetime engine counters (queries, hits, work)
+//	GET  /metrics  resource snapshot: scratch free-list reuse, per-shard
+//	               worker-pool queue depths, batch limit
 //	POST /search   one query; NDJSON stream of hits in decreasing score order
 //	POST /batch    many queries multiplexed over one connection; events carry
-//	               query_id, each query's hits are decreasing-score
+//	               query_id, each query's hits are decreasing-score.
+//	               Batches over -max-batch are rejected with HTTP 413 so one
+//	               huge batch cannot monopolise the worker pool.
 //
 // Example:
 //
@@ -45,7 +49,8 @@ func main() {
 		matrix       = flag.String("matrix", "PAM30", "substitution matrix")
 		gap          = flag.Int("gap", -10, "linear gap penalty (negative)")
 		eValue       = flag.Float64("evalue", 20000, "default E-value threshold for queries that do not set one")
-		shards       = flag.Int("shards", 0, "database partitions (0 = one)")
+		shards       = flag.Int("shards", 0, "work partitions (0 = one)")
+		prefixShards = flag.Bool("prefix-sharding", false, "partition by suffix-tree prefix over one shared index instead of by sequence (near-root work done once per query)")
 		shardWorkers = flag.Int("shard-workers", 0, "concurrent shard searches per query (0 = one per shard)")
 		batchWorkers = flag.Int("batch-workers", 0, "concurrent queries per batch (0 = GOMAXPROCS)")
 		maxBatch     = flag.Int("max-batch", 256, "maximum queries per /batch request")
@@ -53,14 +58,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *dbPath, *alphabet, *matrix, *gap, *eValue,
-		*shards, *shardWorkers, *batchWorkers, *maxBatch, *shutdownWait); err != nil {
+		*shards, *prefixShards, *shardWorkers, *batchWorkers, *maxBatch, *shutdownWait); err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
-	shards, shardWorkers, batchWorkers, maxBatch int, shutdownWait time.Duration) error {
+	shards int, prefixShards bool, shardWorkers, batchWorkers, maxBatch int, shutdownWait time.Duration) error {
 	if dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
@@ -86,15 +91,20 @@ func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
 	}
 	build := time.Now()
 	eng, err := oasis.NewEngine(db, oasis.EngineOptions{
-		Shards:       shards,
-		ShardWorkers: shardWorkers,
-		BatchWorkers: batchWorkers,
+		Shards:            shards,
+		PartitionByPrefix: prefixShards,
+		ShardWorkers:      shardWorkers,
+		BatchWorkers:      batchWorkers,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("warm engine ready: %d sequences (%d residues), %d shards, built in %s",
-		db.NumSequences(), db.TotalResidues(), eng.NumShards(), time.Since(build).Round(time.Millisecond))
+	partition := "by-sequence"
+	if prefixShards {
+		partition = "by-prefix (shared index)"
+	}
+	log.Printf("warm engine ready: %d sequences (%d residues), %d shards %s, built in %s",
+		db.NumSequences(), db.TotalResidues(), eng.NumShards(), partition, time.Since(build).Round(time.Millisecond))
 
 	srv := &http.Server{
 		Addr: addr,

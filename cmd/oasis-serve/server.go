@@ -75,6 +75,7 @@ func newServer(eng *oasis.Engine, cfg serverConfig) *server {
 	s := &server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	return s
@@ -93,6 +94,19 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// handleMetrics exposes the engine's resource snapshot for capacity
+// planning: searcher-scratch free-list reuse and per-shard worker-pool
+// queue depths, alongside the lifetime traffic counters.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":         s.eng.Metrics(),
+		"queries_served": st.QueriesServed,
+		"hits_reported":  st.HitsReported,
+		"max_batch":      s.cfg.maxBatch,
+	})
 }
 
 // buildQuery validates one request and assembles the batch query for it.
@@ -160,7 +174,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) > s.cfg.maxBatch {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%d queries exceeds the batch limit %d", len(req.Queries), s.cfg.maxBatch))
+		// 413: the batch is too large for this deployment (-max-batch); a
+		// single huge batch must not monopolise the worker pool.
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d queries exceeds the batch limit %d", len(req.Queries), s.cfg.maxBatch))
 		return
 	}
 	batch := make([]oasis.BatchQuery, len(req.Queries))

@@ -27,7 +27,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2})
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2, PartitionByPrefix: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,6 @@ func TestBadRequests(t *testing.T) {
 		{"/search", `{"query":""}`},
 		{"/search", `not json`},
 		{"/batch", `{"queries":[]}`},
-		{"/batch", `{"queries":[{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"},{"query":"ACD"}]}`},
 	}
 	for _, c := range cases {
 		rec := httptest.NewRecorder()
@@ -170,6 +169,87 @@ func TestBadRequests(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Fatalf("%s %q: status %d, want 400", c.path, c.body, rec.Code)
 		}
+	}
+}
+
+// TestBatchOverLimitIs413 pins the admission-control contract: a batch over
+// the -max-batch limit is rejected with 413 before any query is admitted to
+// the worker pool.
+func TestBatchOverLimitIs413(t *testing.T) {
+	srv := testServer(t) // maxBatch: 8
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	for i := 0; i < 9; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"query":"ACD"}`)
+	}
+	sb.WriteString(`]}`)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", strings.NewReader(sb.String())))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "batch limit 8") {
+		t.Fatalf("error body %q does not name the limit", body["error"])
+	}
+	st := srv.eng.Stats()
+	if st.QueriesServed != 0 {
+		t.Fatalf("over-limit batch was admitted: %d queries served", st.QueriesServed)
+	}
+}
+
+// TestMetricsEndpoint checks /metrics exposes the scratch free-list stats
+// and one queue-depth entry per shard.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/search", strings.NewReader(`{"query":"DKDGDGTITTKE"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm-up search failed: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Engine struct {
+			Scratch struct {
+				Gets   int64 `json:"Gets"`
+				Reuses int64 `json:"Reuses"`
+				Idle   int   `json:"Idle"`
+			} `json:"scratch"`
+			Shards []struct {
+				Shard  int   `json:"shard"`
+				Queued int64 `json:"queued"`
+				Active int64 `json:"active"`
+			} `json:"shards"`
+		} `json:"engine"`
+		QueriesServed int64 `json:"queries_served"`
+		MaxBatch      int   `json:"max_batch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad metrics JSON %s: %v", rec.Body.String(), err)
+	}
+	if len(body.Engine.Shards) != 2 {
+		t.Fatalf("metrics list %d shards, want 2", len(body.Engine.Shards))
+	}
+	for i, sh := range body.Engine.Shards {
+		if sh.Shard != i || sh.Queued != 0 || sh.Active != 0 {
+			t.Fatalf("idle engine shard %d metrics = %+v", i, sh)
+		}
+	}
+	if body.Engine.Scratch.Gets <= 0 {
+		t.Fatalf("scratch stats missing after a served query: %+v", body.Engine.Scratch)
+	}
+	if body.QueriesServed != 1 || body.MaxBatch != 8 {
+		t.Fatalf("metrics = served %d, max_batch %d; want 1, 8", body.QueriesServed, body.MaxBatch)
 	}
 }
 

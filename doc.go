@@ -6,34 +6,53 @@
 // Beyond the paper, the repository scales the algorithm out and tightens
 // its hot loop:
 //
-//   - oasis.NewShardedIndex partitions the database into independently
-//     indexed shards (internal/seq.PartitionDatabase balances them by
-//     residue count), searches them in parallel on a bounded worker pool,
-//     and merges the per-shard hit streams online in globally decreasing
-//     score order (internal/shard).  The paper's online property — and
-//     therefore streaming top-k and early termination — survives sharding.
+//   - oasis.NewShardedIndex searches the database with one worker per
+//     partition on a bounded pool and merges the per-shard hit streams
+//     online in globally decreasing score order (internal/shard), so the
+//     paper's online property — and therefore streaming top-k and early
+//     termination — survives sharding.  Two partition modes exist: the
+//     default splits the database into independently indexed shards
+//     (internal/seq.PartitionDatabase, balanced by residue count), while
+//     ShardOptions.PartitionByPrefix builds ONE shared suffix tree and
+//     assigns disjoint top-level subtrees to shards by suffix prefix
+//     (internal/seq.PartitionByPrefix + core.ExpandFrontier).  Prefix
+//     partitioning computes the near-root DP columns exactly once per
+//     query, so total ColumnsExpanded stays ~flat as shards grow instead of
+//     multiplying (~1.9x at 8 sequence-partitioned shards on the Figure-4
+//     workload).
 //   - The dynamic-programming column sweep in internal/core tracks the
 //     live (non-pruned) band of each column and computes only those cells,
 //     which typically cuts Stats.CellsComputed to a fraction of the
-//     exhaustive sweep on selective searches.
+//     exhaustive sweep on selective searches.  Per-node column storage is
+//     band-sized too: a search node carries only its live [lo, hi] interval
+//     (allocated from size-classed free lists) instead of a full
+//     len(query)+1 vector, and the provably dead row 0 is never computed
+//     below the root.  Stats.MaxBandWidth records the widest band a search
+//     ever stored.
 //   - oasis.NewEngine builds a warm batch query engine (internal/engine):
 //     the sharded index is constructed once, searcher scratch is pooled
 //     per worker (core.Scratch via bufferpool.FreeList), and SubmitBatch
 //     multiplexes many concurrent queries over the shared index while each
 //     query's hit stream stays decreasing-score and cancellable — build
 //     once, serve many.  cmd/oasis-serve is the HTTP/NDJSON front end over
-//     one such engine (see examples/server for the lifecycle), and
-//     oasis-bench's -exp batch records the amortisation win (warm engine
-//     vs full per-query setup) in BENCH_oasis.json.
+//     one such engine (see examples/server for the lifecycle): /metrics
+//     exposes the scratch free-list stats and per-shard worker-pool queue
+//     depths for capacity planning, and batches over -max-batch are
+//     rejected with HTTP 413 so one huge batch cannot monopolise the
+//     worker pool.
 //
 // The search kernels are pinned by a fuzz/golden/race test layer: native Go
 // fuzz targets assert live-band/full-sweep hit identity and the sharded
-// merge's order contract on arbitrary inputs, golden files freeze the
-// Figure-4 workload's hits and work counters, and a -race stress test
-// hammers one warm engine with concurrent batches and mid-stream
-// cancellation.
+// merge's order contract (in both partition modes) on arbitrary inputs,
+// golden files freeze the Figure-4 workload's hits and work counters, and a
+// -race stress test hammers one warm engine with concurrent batches and
+// mid-stream cancellation.
 //
 // cmd/oasis-bench runs the paper's experiments plus the sharded, live-band
 // and batch measurements and writes a machine-readable BENCH_oasis.json so
-// the performance trajectory is tracked across changes.
+// the performance trajectory is tracked across changes (see
+// internal/experiments.BenchRecord for the record-name families, including
+// sharded/prefix/shards=N); its -prefix-budget flag — used as a CI gate —
+// fails the run when prefix-sharded ColumnsExpanded exceeds the given ratio
+// of the 1-shard baseline.
 package repro

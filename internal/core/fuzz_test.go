@@ -72,6 +72,16 @@ func FuzzLiveBandEquivalence(f *testing.F) {
 			t.Fatalf("band computed MORE cells than the full sweep: %d > %d",
 				bandStats.CellsComputed, fullStats.CellsComputed)
 		}
+		// Row-0 skip equivalence: neither mode computes the provably dead
+		// row 0, and the band only changes which cells of a column are
+		// touched — never which columns are expanded.
+		if bandStats.ColumnsExpanded != fullStats.ColumnsExpanded {
+			t.Fatalf("band expanded %d columns, full sweep %d (row-0 skip or band changed filtering)",
+				bandStats.ColumnsExpanded, fullStats.ColumnsExpanded)
+		}
+		if bandStats.MaxBandWidth > len(q)+1 {
+			t.Fatalf("band width %d exceeds the full column %d", bandStats.MaxBandWidth, len(q)+1)
+		}
 		if bandStats.SequencesReported != int64(len(band)) {
 			t.Fatalf("stats report %d sequences, stream had %d", bandStats.SequencesReported, len(band))
 		}

@@ -130,6 +130,38 @@ func TestLiveBandReducesCells(t *testing.T) {
 		fullStats.CellsComputed, 100*float64(bandStats.CellsComputed)/float64(fullStats.CellsComputed))
 }
 
+// TestCompactColumnsBandSized asserts the band-aware column storage contract:
+// on a selective search no viable node ever stores a full len(query)+1
+// vector — the widest band requested stays strictly below the full column.
+func TestCompactColumnsBandSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(t, rng, seq.Protein, 40, 200)
+	idx := memIndex(t, db)
+	query := seq.Protein.MustEncode("DKDGDGCITTKELGTV")
+	scheme := score.MustScheme(score.ByName("PAM30"), -10)
+
+	var st Stats
+	if _, err := SearchAll(idx, query, Options{Scheme: scheme, MinScore: 25, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBandWidth <= 0 {
+		t.Fatal("search stored no bands; workload is degenerate")
+	}
+	if st.MaxBandWidth >= len(query)+1 {
+		t.Fatalf("a viable node stored a full-width column: MaxBandWidth %d >= %d",
+			st.MaxBandWidth, len(query)+1)
+	}
+	var full Stats
+	if _, err := SearchAll(idx, query, Options{Scheme: scheme, MinScore: 25, Stats: &full, DisableLiveBand: true}); err != nil {
+		t.Fatal(err)
+	}
+	if full.MaxBandWidth != len(query)+1 {
+		t.Fatalf("full sweep should store full-width columns: MaxBandWidth %d, want %d",
+			full.MaxBandWidth, len(query)+1)
+	}
+	t.Logf("max band width: band=%d full=%d", st.MaxBandWidth, full.MaxBandWidth)
+}
+
 // TestScratchBufferOwnership is the regression test for the scratch-buffer
 // aliasing hazard: expand swaps its local prev/cur pointers once per column
 // and early-return paths used to leave s.prevBuf/s.curBuf out of sync with
@@ -150,7 +182,7 @@ func TestScratchBufferOwnership(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.run(func(Hit) bool { return true }); err != nil {
+		if err := s.runFromRoot(func(Hit) bool { return true }); err != nil {
 			t.Fatal(err)
 		}
 		if len(s.prevBuf) != len(query)+1 || len(s.curBuf) != len(query)+1 {

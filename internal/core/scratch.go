@@ -24,9 +24,12 @@ type Scratch struct {
 	// h is the heuristic vector buffer; prof the query profile buffer.
 	h    []int
 	prof []int
-	// freeCols/freeNodes recycle column vectors and searchNode structs
-	// across node expansions and across queries.
-	freeCols  [][]int
+	// freeBands/freeNodes recycle band slices (bucketed by power-of-two
+	// capacity class, see searcher.allocBand) and searchNode structs across
+	// node expansions and across queries.  Band classes are query-length
+	// independent, so recycled bands carry over between queries of different
+	// lengths without capacity checks.
+	freeBands [][][]int
 	freeNodes []*searchNode
 	// heapItems is the priority queue's backing array.
 	heapItems []*searchNode

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/score"
@@ -27,9 +28,11 @@ type Options struct {
 	// Stats, when non-nil, accumulates work counters.
 	Stats *Stats
 	// DisableLiveBand turns off the live-band DP kernel and sweeps every
-	// cell of every column, as the original implementation did.  The search
-	// result is identical either way; the flag exists so tests and
-	// benchmarks can quantify the band's CellsComputed reduction.
+	// cell of every column (rows 1..m; row 0 is provably dead below the
+	// root and is never computed in either mode), as the original
+	// implementation did.  The search result is identical either way; the
+	// flag exists so tests and benchmarks can quantify the band's
+	// CellsComputed reduction.
 	DisableLiveBand bool
 	// Scratch, when non-nil, supplies reusable search buffers so warm
 	// engines avoid per-query allocation.  A Scratch must serve at most one
@@ -77,6 +80,10 @@ type Stats struct {
 	NodesUnviable int64
 	// MaxQueueSize is the high-water mark of the priority queue.
 	MaxQueueSize int
+	// MaxBandWidth is the widest live band stored on any viable search node
+	// (cells, not query length).  Column storage is band-sized, so this also
+	// bounds the per-node memory the search ever requested.
+	MaxBandWidth int
 	// SequencesReported counts reported hits.
 	SequencesReported int64
 }
@@ -92,6 +99,9 @@ func (s *Stats) Add(other Stats) {
 	s.SequencesReported += other.SequencesReported
 	if other.MaxQueueSize > s.MaxQueueSize {
 		s.MaxQueueSize = other.MaxQueueSize
+	}
+	if other.MaxBandWidth > s.MaxBandWidth {
+		s.MaxBandWidth = other.MaxBandWidth
 	}
 }
 
@@ -113,13 +123,15 @@ const (
 type searchNode struct {
 	ref   NodeRef
 	depth int // symbols on the path from the root
-	// c[i] is the best score of an alignment between Q[1..i] and a suffix
-	// of the node's path, or negInf when pruned.  Only retained for viable
-	// nodes (accepted nodes never expand further).
-	c []int
-	// cLo/cHi bound the live band of c: every cell outside [cLo, cHi] is
-	// negInf (cells outside the band may hold stale values from buffer
-	// reuse and must never be read).
+	// band holds the live cells of the node's DP column (the paper's C
+	// vector): band[i] is C[cLo+i], the best score of an alignment between
+	// Q[1..cLo+i] and a suffix of the node's path.  Every cell outside
+	// [cLo, cHi] is negInf by construction and is not stored, so viable-node
+	// memory is proportional to the live band (~18% of the full column on
+	// the Figure-4 workload) instead of len(query)+1.  Only retained for
+	// viable nodes (accepted nodes never expand further).
+	band []int
+	// cLo/cHi bound the live band within the logical column.
 	cLo, cHi int
 	// maxScore is the strongest alignment found along this path.
 	maxScore int
@@ -145,7 +157,7 @@ func Search(idx Index, query []byte, opts Options, report func(Hit) bool) error 
 		return err
 	}
 	defer s.release()
-	return s.run(report)
+	return s.runFromRoot(report)
 }
 
 // SearchStream is Search with a frontier hook: frontier is invoked with the
@@ -166,7 +178,7 @@ func SearchStream(idx Index, query []byte, opts Options, report func(Hit) bool, 
 	}
 	defer s.release()
 	s.frontier = frontier
-	return s.run(report)
+	return s.runFromRoot(report)
 }
 
 // SearchAll runs Search and collects every hit.
@@ -202,8 +214,10 @@ type searcher struct {
 	// a pair of allocations per visited child.
 	prevBuf []int
 	curBuf  []int
-	// freeCols recycles the C vectors of popped viable nodes.
-	freeCols [][]int
+	// freeBands recycles the band slices of popped viable nodes, bucketed by
+	// power-of-two capacity class so a recycled slice always fits requests of
+	// its class (see allocBand).
+	freeBands [][][]int
 	// freeNodes recycles searchNode structs of popped nodes.
 	freeNodes []*searchNode
 	// prof is the query profile: prof[(i-1)*profWidth + sym] is the
@@ -254,7 +268,7 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 		stats:     st,
 		prevBuf:   sc.prevBuf,
 		curBuf:    sc.curBuf,
-		freeCols:  sc.freeCols,
+		freeBands: sc.freeBands,
 		freeNodes: sc.freeNodes,
 		prof:      sc.prof,
 		profWidth: mat.Size(),
@@ -270,31 +284,53 @@ func (s *searcher) release() {
 	sc := s.sc
 	sc.prevBuf = s.prevBuf
 	sc.curBuf = s.curBuf
-	sc.freeCols = s.freeCols
+	sc.freeBands = s.freeBands
 	sc.freeNodes = s.freeNodes
 	sc.heapItems = s.pq.items[:0]
 }
 
-// allocColumn returns a column buffer of length len(query)+1, reusing one
-// from a popped node when available.  Recycled columns may come from an
-// earlier query of a different length (scratch reuse), so capacity is checked
-// and too-small buffers are dropped.
-func (s *searcher) allocColumn() []int {
-	want := len(s.query) + 1
-	for n := len(s.freeCols); n > 0; n = len(s.freeCols) {
-		c := s.freeCols[n-1]
-		s.freeCols = s.freeCols[:n-1]
-		if cap(c) >= want {
-			return c[:want]
-		}
-	}
-	return make([]int, want)
+// bandClass buckets a band width into its power-of-two size class, so the
+// free lists hand out slices whose capacity (1 << class) always covers the
+// request while over-allocating by less than 2x.
+func bandClass(width int) int {
+	return bits.Len(uint(width - 1))
 }
 
-// recycleColumn returns a node's column buffer to the free list.
-func (s *searcher) recycleColumn(c []int) {
-	if c != nil && len(s.freeCols) < 1024 {
-		s.freeCols = append(s.freeCols, c)
+// allocBand returns a band buffer of the given width (in cells), reusing a
+// recycled slice of the same size class when available.  Band buffers are
+// arena-style: capacity is the class's power of two, length the live width.
+func (s *searcher) allocBand(width int) []int {
+	if width > s.stats.MaxBandWidth {
+		s.stats.MaxBandWidth = width
+	}
+	class := bandClass(width)
+	for len(s.freeBands) <= class {
+		s.freeBands = append(s.freeBands, nil)
+	}
+	if n := len(s.freeBands[class]); n > 0 {
+		b := s.freeBands[class][n-1]
+		s.freeBands[class][n-1] = nil
+		s.freeBands[class] = s.freeBands[class][:n-1]
+		return b[:width]
+	}
+	return make([]int, width, 1<<class)
+}
+
+// recycleBand returns a node's band buffer to its size-class free list.
+func (s *searcher) recycleBand(b []int) {
+	if b == nil {
+		return
+	}
+	class := bandClass(cap(b))
+	if cap(b) != 1<<class {
+		// Not an arena slice (should not happen); drop it.
+		return
+	}
+	for len(s.freeBands) <= class {
+		s.freeBands = append(s.freeBands, nil)
+	}
+	if len(s.freeBands[class]) < 256 {
+		s.freeBands[class] = append(s.freeBands[class], b)
 	}
 }
 
@@ -312,8 +348,8 @@ func (s *searcher) allocNode() *searchNode {
 
 // recycleNode returns a popped, fully processed node to the free list.
 func (s *searcher) recycleNode(n *searchNode) {
-	s.recycleColumn(n.c)
-	n.c = nil
+	s.recycleBand(n.band)
+	n.band = nil
 	if len(s.freeNodes) < 1024 {
 		s.freeNodes = append(s.freeNodes, n)
 	}
@@ -345,12 +381,19 @@ func HeuristicVectorInto(buf []int, query []byte, m *score.Matrix) []int {
 	return h
 }
 
-// run executes the main best-first loop (paper Algorithm 1).
-func (s *searcher) run(report func(Hit) bool) error {
-	root := s.rootNode()
-	if root != nil {
+// runFromRoot seeds the queue with the root node and runs the best-first
+// loop (the whole-index search; subtree-sharded searches seed the queue from
+// a Frontier instead, see SearchSeedsStream).
+func (s *searcher) runFromRoot(report func(Hit) bool) error {
+	if root := s.rootNode(); root != nil {
 		s.push(root)
 	}
+	return s.run(report)
+}
+
+// run executes the main best-first loop (paper Algorithm 1) over whatever
+// nodes have been pushed.
+func (s *searcher) run(report func(Hit) bool) error {
 	for s.pq.Len() > 0 {
 		n := s.pop()
 		if s.frontier != nil && !s.frontier(n.f) {
@@ -391,39 +434,40 @@ func (s *searcher) run(report func(Hit) bool) error {
 
 // rootNode builds the initial search node (paper Algorithm 2): the score
 // vector is zero (alignments may skip any query prefix for free), pruned
-// where even the full heuristic cannot reach minScore.
+// where even the full heuristic cannot reach minScore.  Because the
+// heuristic is non-increasing in i, the live cells form the prefix [0, hi].
 func (s *searcher) rootNode() *searchNode {
 	m := len(s.query)
-	c := s.allocColumn()
-	lo, hi := m+1, -1
+	hi := -1
+	f := negInf
 	for i := 0; i <= m; i++ {
-		if s.h[i] < s.opts.MinScore {
-			c[i] = negInf
-		} else {
-			c[i] = 0
-			if lo > m {
-				lo = i
-			}
+		if s.h[i] >= s.opts.MinScore {
 			hi = i
+			if s.h[i] > f {
+				f = s.h[i]
+			}
 		}
 	}
 	if hi < 0 {
 		// Even a perfect match of the whole query cannot reach minScore.
 		return nil
 	}
-	f := negInf
-	for i := 0; i <= m; i++ {
-		if c[i] != negInf && c[i]+s.h[i] > f {
-			f = c[i] + s.h[i]
-		}
-	}
+	lo := 0
 	if s.opts.DisableLiveBand {
-		lo, hi = 0, m
+		hi = m
+	}
+	band := s.allocBand(hi - lo + 1)
+	for i := lo; i <= hi; i++ {
+		if s.h[i] >= s.opts.MinScore {
+			band[i-lo] = 0
+		} else {
+			band[i-lo] = negInf // full-sweep mode stores the pruned tail too
+		}
 	}
 	return &searchNode{
 		ref:      s.idx.Root(),
 		depth:    0,
-		c:        c,
+		band:     band,
 		cLo:      lo,
 		cHi:      hi,
 		maxScore: 0,
@@ -464,10 +508,7 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 	prev := s.prevBuf
 	cur := s.curBuf
 	plo, phi := parent.cLo, parent.cHi
-	if full {
-		plo, phi = 0, m
-	}
-	copy(prev[plo:phi+1], parent.c[plo:phi+1])
+	copy(prev[plo:phi+1], parent.band)
 	maxScore := parent.maxScore
 	bestQEnd := parent.bestQueryEnd
 	bestDepth := parent.bestPathDepth
@@ -506,20 +547,15 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 		// upCell tracks cur[i-1] through the sweep so the insertion move
 		// never reads an unwritten cell.
 		upCell := negInf
-		// Row 0: only a deletion from the previous column is possible; a
-		// reset to zero would duplicate work done on other suffixes.
-		if plo == 0 {
-			v0 := addScore(prev[0], gap)
-			if v0 <= 0 || v0+h[0] <= maxScore || v0+h[0] < minScore {
-				v0 = negInf
-			}
-			cur[0] = v0
-			cells++
-			if v0 != negInf {
-				curLo, curHi = 0, 0
-				colBest = v0 + h[0]
-			}
-			upCell = v0
+		// Row 0 (the empty query prefix) is never computed: its only source
+		// is a deletion from the previous column's row 0 (a zero reset would
+		// duplicate work done on other suffixes), so its value starts at 0 in
+		// the root column and can only decrease by the (negative) gap — the
+		// v <= 0 pruning rule therefore kills it in every expanded column.
+		// The full-sweep mode still stores the pruned cell so the whole
+		// column stays defined for the next sweep.
+		if full {
+			cur[0] = negInf
 		}
 		profRow := s.prof[:]
 		symInt := int(sym)
@@ -632,9 +668,9 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 	}
 	node.tag = tagViable
 	node.f = hColumn
-	node.c = s.allocColumn()
 	node.cLo, node.cHi = plo, phi
-	copy(node.c[plo:phi+1], prev[plo:phi+1]) // prev holds the last computed column after the swap
+	node.band = s.allocBand(phi - plo + 1)
+	copy(node.band, prev[plo:phi+1]) // prev holds the last computed column after the swap
 	return node, nil
 }
 

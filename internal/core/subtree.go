@@ -1,0 +1,230 @@
+package core
+
+// Subtree sharding support: instead of building one suffix tree per database
+// partition (which duplicates all near-root column work once per shard), a
+// sharded engine can run the OASIS search over ONE shared index by splitting
+// the search space itself — disjoint top-level subtrees go to different
+// workers.  ExpandFrontier performs the near-root expansion once, producing a
+// set of Seeds (subtree entry points with their DP columns precomputed), and
+// SearchSeedsStream resumes the best-first search from a seed subset.  The
+// near-root columns are therefore computed exactly once regardless of the
+// shard count, and — absent early termination — the total work across all
+// shards equals the single-searcher work cell for cell.
+
+import "repro/internal/seq"
+
+// SubtreeAssigner maps the one- or two-symbol prefix of a top-level subtree
+// to the shard that owns it.  Prefixes are over encoded residue symbols; the
+// second symbol may be seq.Terminator for a sequence that ends immediately
+// after the first.  seq.PrefixPartition is the standard implementation.
+type SubtreeAssigner interface {
+	// NumShards returns the number of shards prefixes are assigned to.
+	NumShards() int
+	// Split reports whether subtrees starting with first are partitioned
+	// among shards by their second symbol (true) or owned whole (false).
+	Split(first byte) bool
+	// Owner returns the shard owning the subtree prefix: (first) alone when
+	// !Split(first) — second is ignored — and (first, second) otherwise.
+	Owner(first, second byte) int
+}
+
+// Seed is one precomputed entry point into the search space: a suffix-tree
+// subtree together with the live band of the DP column at its top node, as
+// produced by the shared near-root expansion.  A Seed owns its band copy and
+// stays valid after the frontier searcher is released.
+type Seed struct {
+	ref           NodeRef
+	depth         int
+	band          []int // live cells C[cLo..cHi]; nil for accepted seeds
+	cLo, cHi      int
+	maxScore      int
+	bestQueryEnd  int
+	bestPathDepth int
+	f             int
+	accepted      bool
+}
+
+// F returns the seed's priority bound: an upper bound on any score obtainable
+// within the subtree (viable) or the score it will report (accepted).
+func (s *Seed) F() int { return s.f }
+
+// Accepted reports whether the seed's whole subtree is already accepted.
+func (s *Seed) Accepted() bool { return s.accepted }
+
+// Frontier is the result of the shared near-root expansion: the subtree
+// seeds grouped by owning shard, the work the expansion cost (counted once,
+// independent of shard count), and each shard's initial frontier bound.
+type Frontier struct {
+	// Seeds[s] holds the subtree entry points assigned to shard s; a shard
+	// with no seeds has nothing to search.
+	Seeds [][]Seed
+	// Bounds[s] is the highest seed F of shard s (negInf when seedless): the
+	// bound a score-ordered merger may assume before the shard's searcher
+	// publishes its first own bound.
+	Bounds []int
+	// Stats counts the work of the shared expansion.
+	Stats Stats
+}
+
+// ExpandFrontier builds the root search node and expands the near-root trunk
+// of the index once, routing every surviving subtree to its owning shard per
+// assign.  Trunk columns (the root's outgoing edges, plus one more level for
+// prefixes the assigner splits by second symbol) are computed exactly once;
+// unviable subtrees are discarded here and never reach a shard, exactly as
+// the single-searcher would discard them.
+//
+// opts must equal the options later passed to SearchSeedsStream (MinScore,
+// Scheme, DisableLiveBand) or the seeds' pruning would be inconsistent.
+// opts.Stats is ignored; the expansion work is returned in Frontier.Stats.
+func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigner) (*Frontier, error) {
+	nShards := assign.NumShards()
+	var st Stats
+	opts.Stats = &st
+	opts.MaxResults = 0
+	s, err := newSearcher(idx, query, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	fr := &Frontier{
+		Seeds:  make([][]Seed, nShards),
+		Bounds: make([]int, nShards),
+	}
+	for i := range fr.Bounds {
+		fr.Bounds[i] = negInf
+	}
+	root := s.rootNode()
+	if root == nil {
+		fr.Stats = st
+		return fr, nil
+	}
+
+	nextFallback := 0 // round-robin target for seeds with no prefix owner
+	addSeed := func(shard int, n *searchNode) {
+		if shard < 0 || shard >= nShards {
+			shard = nextFallback % nShards
+			nextFallback++
+		}
+		seed := Seed{
+			ref:           n.ref,
+			depth:         n.depth,
+			cLo:           n.cLo,
+			cHi:           n.cHi,
+			maxScore:      n.maxScore,
+			bestQueryEnd:  n.bestQueryEnd,
+			bestPathDepth: n.bestPathDepth,
+			f:             n.f,
+			accepted:      n.tag == tagAccepted,
+		}
+		if n.band != nil {
+			seed.band = make([]int, len(n.band))
+			copy(seed.band, n.band)
+		}
+		fr.Seeds[shard] = append(fr.Seeds[shard], seed)
+		if seed.f > fr.Bounds[shard] {
+			fr.Bounds[shard] = seed.f
+		}
+		s.recycleNode(n)
+	}
+
+	// The trunk is at most two levels deep: the root, plus the depth-1 nodes
+	// whose prefix the assigner splits by second symbol.  splitFirst tags a
+	// stacked node with its (single-symbol) path so children know their
+	// prefix; -1 marks the root.
+	type trunkNode struct {
+		n     *searchNode
+		first int
+	}
+	stack := []trunkNode{{n: root, first: -1}}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesExpanded++
+		err := s.idx.VisitChildren(t.n.ref, t.n.depth, func(child NodeRef, label EdgeLabel) error {
+			// Read the routing symbols before expand consumes the label
+			// (Symbols invalidates previously returned slices).
+			head, err := label.Symbols(0, min(2, label.Len()))
+			if err != nil {
+				return err
+			}
+			first, second := int(head[0]), -1
+			if len(head) > 1 {
+				second = int(head[1])
+			}
+			cn, err := s.expand(t.n, child, label)
+			if err != nil || cn == nil {
+				return err
+			}
+			switch {
+			case t.first >= 0:
+				// Child of a split depth-1 node: prefix (t.first, first).
+				addSeed(assign.Owner(byte(t.first), byte(first)), cn)
+			case first == int(seq.Terminator):
+				// A whole-terminator subtree cannot be viable (expand stops
+				// at the terminator with maxScore 0 < MinScore), so cn being
+				// non-nil here would mean a malformed index; route it
+				// defensively rather than lose it.
+				addSeed(-1, cn)
+			case !assign.Split(byte(first)):
+				addSeed(assign.Owner(byte(first), 0), cn)
+			case second >= 0:
+				// The edge itself carries the second symbol: every suffix in
+				// this subtree shares the two-symbol prefix.
+				addSeed(assign.Owner(byte(first), byte(second)), cn)
+			case cn.tag != tagViable:
+				// A single-symbol edge to an accepted node: nothing below it
+				// is ever expanded, so ownership by second symbol is moot.
+				addSeed(-1, cn)
+			default:
+				stack = append(stack, trunkNode{n: cn, first: first})
+			}
+			return nil
+		})
+		s.recycleNode(t.n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fr.Stats = st
+	return fr, nil
+}
+
+// nodeFromSeed rebuilds a search node from a frontier seed, copying the band
+// into searcher-owned storage.
+func (s *searcher) nodeFromSeed(seed *Seed) *searchNode {
+	n := s.allocNode()
+	n.ref = seed.ref
+	n.depth = seed.depth
+	n.maxScore = seed.maxScore
+	n.bestQueryEnd = seed.bestQueryEnd
+	n.bestPathDepth = seed.bestPathDepth
+	n.f = seed.f
+	if seed.accepted {
+		n.tag = tagAccepted
+		return n
+	}
+	n.tag = tagViable
+	n.cLo, n.cHi = seed.cLo, seed.cHi
+	n.band = s.allocBand(len(seed.band))
+	copy(n.band, seed.band)
+	return n
+}
+
+// SearchSeedsStream runs the OASIS best-first search over the subtrees in
+// seeds instead of from the index root, streaming hits to report in
+// decreasing score order with the same frontier-bound hook as SearchStream.
+// opts must match the options the seeds were expanded with.  Seeds may be
+// reused across calls (each search copies the band into its own storage).
+func SearchSeedsStream(idx Index, query []byte, opts Options, seeds []Seed, report func(Hit) bool, frontier func(bound int) bool) error {
+	s, err := newSearcher(idx, query, opts)
+	if err != nil {
+		return err
+	}
+	defer s.release()
+	s.frontier = frontier
+	for i := range seeds {
+		s.push(s.nodeFromSeed(&seeds[i]))
+	}
+	return s.run(report)
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/seq"
 	"repro/internal/shard"
@@ -35,6 +36,11 @@ type Options struct {
 	// Shards is the number of database partitions (default 1; capped at the
 	// number of sequences) — see shard.Options.
 	Shards int
+	// PartitionByPrefix selects prefix-partitioned subtree sharding: one
+	// shared suffix tree with disjoint top-level subtrees per shard, so
+	// near-root column work is done once per query instead of once per
+	// shard (see shard.PartitionByPrefix).
+	PartitionByPrefix bool
 	// ShardWorkers bounds how many shard searches run concurrently within
 	// one query (default: one per shard).
 	ShardWorkers int
@@ -106,7 +112,15 @@ type Engine struct {
 // New partitions db, builds one suffix-tree index per shard and returns a
 // warm engine ready to serve queries.
 func New(db *seq.Database, opts Options) (*Engine, error) {
-	sharded, err := shard.NewEngine(db, shard.Options{Shards: opts.Shards, Workers: opts.ShardWorkers})
+	mode := shard.PartitionBySequence
+	if opts.PartitionByPrefix {
+		mode = shard.PartitionByPrefix
+	}
+	sharded, err := shard.NewEngine(db, shard.Options{
+		Shards:    opts.Shards,
+		Workers:   opts.ShardWorkers,
+		Partition: mode,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +161,20 @@ func (e *Engine) Stats() (st core.Stats, queries, hits int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats, e.queriesServed, e.hitsReported
+}
+
+// Metrics is a snapshot of the engine's resource counters for capacity
+// planning: scratch free-list reuse and per-shard worker-pool queue depths.
+type Metrics struct {
+	// Scratch reports pooled searcher-scratch reuse.
+	Scratch bufferpool.FreeListStats `json:"scratch"`
+	// Shards holds each shard's queued and active search counts.
+	Shards []shard.QueueDepth `json:"shards"`
+}
+
+// Metrics returns a point-in-time snapshot of the engine's resource usage.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{Scratch: e.sharded.ScratchStats(), Shards: e.sharded.QueueDepths()}
 }
 
 // begin registers one unit of in-flight work, failing when the engine is

@@ -293,3 +293,70 @@ func TestEngineClose(t *testing.T) {
 		t.Fatalf("batch after Close = %v, want ErrClosed", dones[0].Err)
 	}
 }
+
+// TestPrefixEngineBatchAndMetrics drives a prefix-partitioned warm engine
+// through SubmitBatch and checks the metrics snapshot: per-query hit streams
+// must match the sequential search (as (sequence, score) sets), and Metrics
+// must report one queue-depth entry per shard, all idle after the batch
+// drains, with scratch reuse on the second batch.
+func TestPrefixEngineBatchAndMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	db := randomEngineDB(t, rng, seq.DNA, 24, 80)
+	scheme := score.MustScheme(score.UnitDNA(), -1)
+	eng, err := New(db, Options{Shards: 4, PartitionByPrefix: true, BatchWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.NumShards() != 4 {
+		t.Fatalf("got %d shards, want 4", eng.NumShards())
+	}
+
+	single, err := core.BuildMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomQueries(rng, seq.DNA, 8, scheme)
+	for round := 0; round < 2; round++ {
+		hits, dones := collectBatch(t, len(queries), eng.SubmitBatch(context.Background(), queries))
+		for i, q := range queries {
+			want, err := core.SearchAll(single, q.Residues, q.Options)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hits[i]) != len(want) {
+				t.Fatalf("round %d query %d: %d hits, sequential %d", round, i, len(hits[i]), len(want))
+			}
+			wantSet := map[[2]int]int{}
+			for _, h := range want {
+				wantSet[[2]int{h.SeqIndex, h.Score}]++
+			}
+			for j, h := range hits[i] {
+				if j > 0 && h.Score > hits[i][j-1].Score {
+					t.Fatalf("round %d query %d: score order violated", round, i)
+				}
+				k := [2]int{h.SeqIndex, h.Score}
+				if wantSet[k] == 0 {
+					t.Fatalf("round %d query %d: hit %+v not in sequential results", round, i, h)
+				}
+				wantSet[k]--
+			}
+			if dones[i].Err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, dones[i].Err)
+			}
+		}
+	}
+
+	m := eng.Metrics()
+	if len(m.Shards) != 4 {
+		t.Fatalf("metrics list %d shards, want 4", len(m.Shards))
+	}
+	for _, sh := range m.Shards {
+		if sh.Queued != 0 || sh.Active != 0 {
+			t.Fatalf("idle engine reports busy shard: %+v", sh)
+		}
+	}
+	if m.Scratch.Gets == 0 || m.Scratch.Reuses == 0 {
+		t.Fatalf("warm engine shows no scratch reuse: %+v", m.Scratch)
+	}
+}

@@ -12,8 +12,12 @@ import (
 )
 
 // ShardedRow is one point of the sharded scale-out experiment: the whole
-// query workload run through the sharded engine at one shard count.
+// query workload run through the sharded engine at one shard count in one
+// partition mode.
 type ShardedRow struct {
+	// Mode is "sequence" (independent per-shard indexes) or "prefix"
+	// (shared index, disjoint subtrees per shard).
+	Mode    string
 	Shards  int
 	Workers int
 	// QueryTime is the mean wall-clock time per query.
@@ -23,66 +27,124 @@ type ShardedRow struct {
 	// ColumnsExpanded / CellsComputed are summed across shards and queries.
 	ColumnsExpanded int64
 	CellsComputed   int64
-	// Speedup is row 0's QueryTime divided by this row's (so the first
-	// shard count acts as the baseline).
+	// Speedup is the 1-shard QueryTime divided by this row's.
 	Speedup float64
 }
 
+// shardedModes maps row labels to engine partition modes.
+var shardedModes = []struct {
+	name string
+	mode shard.PartitionMode
+}{
+	{"sequence", shard.PartitionBySequence},
+	{"prefix", shard.PartitionByPrefix},
+}
+
 // Sharded runs the workload through the sharded engine at each shard count
-// and reports throughput and work counters.  workers <= 0 means one worker
-// per shard.
+// in both partition modes and reports throughput and work counters.  The
+// first row (sequence mode at the first shard count — run with 1 first for a
+// meaningful baseline) anchors the speedup column.  workers <= 0 means one
+// worker per shard.  Every row must report the same hit total; a mismatch is
+// an error because sharding must never change results.
 func Sharded(lab *Lab, shardCounts []int, workers int) ([]ShardedRow, error) {
 	if len(shardCounts) == 0 {
 		shardCounts = []int{1, 2, 4, 8}
 	}
 	var rows []ShardedRow
-	for _, n := range shardCounts {
-		engine, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		var st core.Stats
-		var hits int64
-		start := time.Now()
-		for _, q := range lab.Queries {
-			minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
-			err := engine.Search(q.Residues, core.Options{
-				Scheme: lab.Scheme, MinScore: minScore, Stats: &st,
-			}, func(core.Hit) bool {
-				hits++
-				return true
-			})
+	for _, pm := range shardedModes {
+		for _, n := range shardCounts {
+			if pm.mode == shard.PartitionByPrefix && n == 1 {
+				// One prefix shard is the shared-index single search —
+				// identical to sequence mode at 1 shard; skip the duplicate.
+				continue
+			}
+			engine, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers, Partition: pm.mode})
 			if err != nil {
 				return nil, err
 			}
+			var st core.Stats
+			var hits int64
+			start := time.Now()
+			for _, q := range lab.Queries {
+				minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
+				err := engine.Search(q.Residues, core.Options{
+					Scheme: lab.Scheme, MinScore: minScore, Stats: &st,
+				}, func(core.Hit) bool {
+					hits++
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			elapsed := time.Since(start)
+			row := ShardedRow{
+				Mode:            pm.name,
+				Shards:          engine.NumShards(),
+				Workers:         engine.Workers(),
+				QueryTime:       elapsed / time.Duration(len(lab.Queries)),
+				Hits:            hits,
+				ColumnsExpanded: st.ColumnsExpanded,
+				CellsComputed:   st.CellsComputed,
+			}
+			if len(rows) > 0 {
+				if row.Hits != rows[0].Hits {
+					return nil, fmt.Errorf("experiments: %s sharding at %d shards reported %d hits, baseline %d",
+						row.Mode, row.Shards, row.Hits, rows[0].Hits)
+				}
+				if row.QueryTime > 0 {
+					row.Speedup = float64(rows[0].QueryTime) / float64(row.QueryTime)
+				}
+			} else {
+				row.Speedup = 1
+			}
+			rows = append(rows, row)
 		}
-		elapsed := time.Since(start)
-		row := ShardedRow{
-			Shards:          engine.NumShards(),
-			Workers:         engine.Workers(),
-			QueryTime:       elapsed / time.Duration(len(lab.Queries)),
-			Hits:            hits,
-			ColumnsExpanded: st.ColumnsExpanded,
-			CellsComputed:   st.CellsComputed,
-		}
-		if len(rows) > 0 && row.QueryTime > 0 {
-			row.Speedup = float64(rows[0].QueryTime) / float64(row.QueryTime)
-		} else {
-			row.Speedup = 1
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
+// CheckPrefixColumns enforces the subtree-sharding work bound: every
+// prefix-mode row's ColumnsExpanded must stay within budget (a ratio, e.g.
+// 1.05) of the single-shard baseline row.  It returns an error naming the
+// first violating row, and an error when the rows contain no baseline or no
+// prefix rows (a misconfigured run must not pass vacuously).
+func CheckPrefixColumns(rows []ShardedRow, budget float64) error {
+	var base *ShardedRow
+	for i := range rows {
+		if rows[i].Shards == 1 {
+			base = &rows[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("experiments: no 1-shard baseline row to check prefix columns against")
+	}
+	checked := 0
+	for _, r := range rows {
+		if r.Mode != "prefix" {
+			continue
+		}
+		checked++
+		if float64(r.ColumnsExpanded) > budget*float64(base.ColumnsExpanded) {
+			return fmt.Errorf("experiments: prefix sharding at %d shards expanded %d columns, over %.2fx the 1-shard baseline %d",
+				r.Shards, r.ColumnsExpanded, budget, base.ColumnsExpanded)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("experiments: no prefix-mode rows to check (run shard counts > 1)")
+	}
+	return nil
+}
+
 // RenderSharded writes the scale-out experiment as a text table.
 func RenderSharded(w io.Writer, rows []ShardedRow) {
-	fmt.Fprintln(w, "Sharded scale-out — mean query time vs shard count (order-preserving merge)")
-	fmt.Fprintf(w, "%-8s %-8s %-14s %-10s %-16s %-16s %-8s\n",
-		"shards", "workers", "time/query", "hits", "columns", "cells", "speedup")
+	fmt.Fprintln(w, "Sharded scale-out — mean query time vs shard count and partition mode (order-preserving merge)")
+	fmt.Fprintf(w, "%-10s %-8s %-8s %-14s %-10s %-16s %-16s %-8s\n",
+		"mode", "shards", "workers", "time/query", "hits", "columns", "cells", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8d %-8d %-14s %-10d %-16d %-16d %-8.2f\n",
-			r.Shards, r.Workers, fmtDur(r.QueryTime), r.Hits, r.ColumnsExpanded, r.CellsComputed, r.Speedup)
+		fmt.Fprintf(w, "%-10s %-8d %-8d %-14s %-10d %-16d %-16d %-8.2f\n",
+			r.Mode, r.Shards, r.Workers, fmtDur(r.QueryTime), r.Hits, r.ColumnsExpanded, r.CellsComputed, r.Speedup)
 	}
 	fmt.Fprintln(w)
 }
@@ -172,7 +234,16 @@ func RenderLiveBand(w io.Writer, row LiveBandRow) {
 // (BENCH_oasis.json): a named measurement with its primary latency and the
 // paper's work counters, so the perf history can be tracked across PRs.
 type BenchRecord struct {
-	// Name identifies the measurement (e.g. "sharded/shards=4").
+	// Name identifies the measurement.  Current record families:
+	//
+	//	fig3/oasis-mem             mean OASIS query time, memory index
+	//	sharded/shards=N           sequence-partitioned engine at N shards
+	//	sharded/prefix/shards=N    prefix-partitioned subtree sharding at N
+	//	                           shards (shared index; columns should stay
+	//	                           ~flat vs the 1-shard baseline)
+	//	liveband/band              banded DP kernel on the Figure-4 workload
+	//	liveband/full-sweep        exhaustive-sweep ablation of the same
+	//	batch/...                  warm batch engine vs per-query setup
 	Name string `json:"name"`
 	// NsPerOp is the mean wall-clock nanoseconds per query.
 	NsPerOp float64 `json:"ns_per_op"`

@@ -12,9 +12,17 @@ import (
 // frontier bound of every shard that is still running — including its own,
 // whose bound caps any hit it could still produce.  Bounds only decrease, so
 // the released stream is non-increasing in score.
+//
+// With deduplication enabled (prefix-partitioned subtree sharding, where a
+// sequence's suffixes spread across shards), a released hit whose sequence
+// was already emitted is dropped.  The release rule makes the drop safe: a
+// duplicate's better copy either was emitted earlier (released streams are
+// non-increasing) or is still capped by its shard's bound, which would have
+// blocked the duplicate's release.
 type merger struct {
-	bounds     []int  // latest frontier bound per shard
-	done       []bool // shard finished (bound is effectively -inf)
+	bounds     []int     // latest frontier bound per shard
+	done       []bool    // shard finished (bound is effectively -inf)
+	dedup      *dedupSet // emitted sequences (nil when streams cannot overlap)
 	pending    hitQueue
 	shardStats []core.Stats
 	opts       core.Options
@@ -26,20 +34,56 @@ type merger struct {
 	err        error
 }
 
-func newMerger(nShards, rootBound int, opts core.Options, totalRes int64, queryLen int, report func(core.Hit) bool) *merger {
-	m := &merger{
-		bounds:     make([]int, nShards),
-		done:       make([]bool, nShards),
-		shardStats: make([]core.Stats, 0, nShards),
+// newMerger builds a merger over len(bounds) shards, each starting at its
+// given initial frontier bound.  A non-nil dedup (acquired for the global
+// sequence count) enables sequence-level deduplication.
+func newMerger(bounds []int, opts core.Options, totalRes int64, queryLen int, dedup *dedupSet, report func(core.Hit) bool) *merger {
+	return &merger{
+		bounds:     bounds,
+		done:       make([]bool, len(bounds)),
+		dedup:      dedup,
+		shardStats: make([]core.Stats, 0, len(bounds)),
 		opts:       opts,
 		report:     report,
 		totalRes:   totalRes,
 		queryLen:   queryLen,
 	}
-	for s := range m.bounds {
-		m.bounds[s] = rootBound
+}
+
+// dedupSet tracks emitted sequences across one merged query.  Like
+// core.Scratch's reported flags, it is pooled by the engine and reset in
+// O(emitted hits) via the touched list, so a warm prefix-mode engine does
+// not pay an O(sequences) allocation per query.
+type dedupSet struct {
+	seen    []bool
+	touched []int
+	n       int // sequences covered by the current query
+}
+
+// acquire prepares the set for a query over n global sequences: flags left
+// by the previous query are cleared and the flag array grown as needed.
+func (d *dedupSet) acquire(n int) {
+	for _, i := range d.touched {
+		if i < len(d.seen) {
+			d.seen[i] = false
+		}
 	}
-	return m
+	d.touched = d.touched[:0]
+	d.n = n
+	if len(d.seen) < n {
+		d.seen = make([]bool, n)
+	}
+}
+
+// markNew records a sequence's first emission, reporting false when the
+// sequence was already emitted.
+func (d *dedupSet) markNew(seqIndex int) bool {
+	if d.seen[seqIndex] {
+		return false
+	}
+	d.seen[seqIndex] = true
+	d.touched = append(d.touched, seqIndex)
+	return true
 }
 
 // run consumes shard events until every shard has completed, emitting hits
@@ -92,6 +136,9 @@ func (m *merger) emitReady() bool {
 			}
 		}
 		h := heap.Pop(&m.pending).(core.Hit)
+		if m.dedup != nil && !m.dedup.markNew(h.SeqIndex) {
+			continue // a better copy of this sequence was already emitted
+		}
 		m.nEmitted++
 		h.Rank = m.nEmitted
 		if m.opts.KA != nil {
@@ -101,6 +148,12 @@ func (m *merger) emitReady() bool {
 			return false
 		}
 		if m.opts.MaxResults > 0 && m.nEmitted >= m.opts.MaxResults {
+			return false
+		}
+		if m.dedup != nil && m.nEmitted >= m.dedup.n {
+			// Every database sequence has been emitted; nothing the shards
+			// still hold can survive deduplication (mirrors the single
+			// searcher's all-sequences-reported early stop).
 			return false
 		}
 	}

@@ -1,22 +1,34 @@
-// Package shard runs one OASIS searcher per database partition on a bounded
+// Package shard runs one OASIS searcher per work partition on a bounded
 // worker pool and merges the per-shard hit streams into one globally
 // score-ordered stream.
 //
-// Each shard is an independently built suffix-tree index over a subset of
-// the sequences (seq.PartitionDatabase balances the subsets by residue
-// count).  A shard's searcher reports its hits in decreasing score order and
-// additionally publishes a decreasing frontier bound — the f-value of the
-// node at the head of its priority queue, which caps every score the shard
-// can still report (core.SearchStream).  The merger may therefore release a
-// buffered hit as soon as its score is >= every other shard's latest bound,
-// which preserves the paper's online decreasing-score property end to end
-// while keeping first-hit latency low: no shard has to finish before the
-// strongest hits start flowing.
+// Two partition modes are supported.  PartitionBySequence (the original)
+// splits the database into independently indexed shards balanced by residue
+// count; each shard owns a disjoint sequence subset, so streams never
+// overlap, but every shard rebuilds its own suffix tree and re-expands the
+// same near-root columns.  PartitionByPrefix builds ONE shared suffix tree
+// and assigns disjoint top-level subtrees to shards by suffix prefix
+// (seq.PartitionByPrefix + core.ExpandFrontier): the near-root columns are
+// computed exactly once per query, so total ColumnsExpanded stays flat as
+// the shard count grows.  Because a sequence's suffixes spread across
+// subtrees, prefix shards may report the same sequence more than once (at
+// most once per shard, each at that shard's best score); the merger
+// deduplicates, and the frontier-bound release rule guarantees the first
+// released hit for a sequence carries its global best score.
+//
+// In both modes a shard's searcher reports its hits in decreasing score
+// order and additionally publishes a decreasing frontier bound — the f-value
+// of the node at the head of its priority queue, which caps every score the
+// shard can still report (core.SearchStream / core.SearchSeedsStream).  The
+// merger may therefore release a buffered hit as soon as its score is >=
+// every other shard's latest bound, which preserves the paper's online
+// decreasing-score property end to end while keeping first-hit latency low:
+// no shard has to finish before the strongest hits start flowing.
 //
 // Hits with equal scores may interleave differently from run to run (the
 // order depends on which shard surfaces them first); the stream is always
 // non-increasing in score and always contains exactly the hits the
-// single-index search reports.
+// single-index search reports (same sequences, same scores).
 package shard
 
 import (
@@ -30,15 +42,34 @@ import (
 	"repro/internal/seq"
 )
 
+// PartitionMode selects how a sharded engine divides work among shards.
+type PartitionMode int
+
+const (
+	// PartitionBySequence splits the database into independently indexed
+	// shards balanced by residue count (one suffix tree per shard).
+	PartitionBySequence PartitionMode = iota
+	// PartitionByPrefix builds one shared suffix tree and assigns disjoint
+	// top-level subtrees to shards by suffix prefix, eliminating duplicated
+	// near-root column work.
+	PartitionByPrefix
+)
+
 // Options configures a sharded engine.
 type Options struct {
-	// Shards is the number of database partitions (default 1; capped at
-	// the number of sequences).
+	// Shards is the number of work partitions (default 1; capped at the
+	// number of sequences in PartitionBySequence mode).
 	Shards int
 	// Workers bounds how many shard searches run concurrently (default:
 	// one worker per shard).
 	Workers int
+	// Partition selects the work-partitioning strategy (default
+	// PartitionBySequence).
+	Partition PartitionMode
 }
+
+// The prefix partitioner must satisfy the core assigner contract.
+var _ core.SubtreeAssigner = (*seq.PrefixPartition)(nil)
 
 // Engine is a sharded OASIS search engine over one logical database.  It is
 // safe for concurrent use: the indexes are immutable after construction and
@@ -46,45 +77,94 @@ type Options struct {
 // a long-running engine (internal/engine) can multiplex many queries over
 // one warm Engine without per-query allocation.
 type Engine struct {
-	indexes []*core.MemoryIndex
-	globals [][]int // shard-local sequence index -> global index
+	mode    PartitionMode
+	nShards int
 	workers int
 	total   int64 // global residue count, for E-values
+	numSeqs int
 	queryAl *seq.Alphabet
-	// scratch recycles per-shard searcher state across queries.
+	// Sequence mode: one index per shard, with shard-local -> global
+	// sequence index maps.  Prefix mode with one shard also uses this pair
+	// (the shared index with an identity map) so the single-shard fast path
+	// is common.
+	indexes []*core.MemoryIndex
+	globals [][]int
+	// Prefix mode: the shared index and the suffix-prefix assignment.
+	shared   *core.MemoryIndex
+	prefixes *seq.PrefixPartition
+	// scratch recycles per-shard searcher state across queries; dedups
+	// recycles the merger's emitted-sequence sets (prefix mode only).
 	scratch *bufferpool.FreeList[*core.Scratch]
+	dedups  *bufferpool.FreeList[*dedupSet]
+	// queued/active count, per shard, searches waiting for a worker slot and
+	// searches running (see QueueDepths).
+	queued []atomic.Int64
+	active []atomic.Int64
 }
 
-// NewEngine partitions db into opts.Shards shards balanced by residue count
-// and builds one in-memory suffix-tree index per shard.
+// NewEngine partitions the work for db into opts.Shards shards and builds
+// the index(es): one per shard in PartitionBySequence mode, a single shared
+// index in PartitionByPrefix mode.
 func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 	if opts.Shards < 1 {
 		opts.Shards = 1
 	}
-	part, err := seq.PartitionDatabase(db, opts.Shards)
-	if err != nil {
-		return nil, err
-	}
 	e := &Engine{
-		indexes: make([]*core.MemoryIndex, part.NumShards()),
-		globals: part.GlobalIndex,
+		mode:    opts.Partition,
 		total:   db.TotalResidues(),
+		numSeqs: db.NumSequences(),
 		queryAl: db.Alphabet(),
 	}
-	for s, shardDB := range part.Shards {
-		idx, err := core.BuildMemoryIndex(shardDB)
+	switch opts.Partition {
+	case PartitionBySequence:
+		part, err := seq.PartitionDatabase(db, opts.Shards)
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", s, err)
+			return nil, err
 		}
-		e.indexes[s] = idx
+		e.indexes = make([]*core.MemoryIndex, part.NumShards())
+		e.globals = part.GlobalIndex
+		for s, shardDB := range part.Shards {
+			idx, err := core.BuildMemoryIndex(shardDB)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+			e.indexes[s] = idx
+		}
+		e.nShards = len(e.indexes)
+	case PartitionByPrefix:
+		idx, err := core.BuildMemoryIndex(db)
+		if err != nil {
+			return nil, err
+		}
+		e.shared = idx
+		e.prefixes, err = seq.PartitionByPrefix(db, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		e.nShards = e.prefixes.NumShards()
+		if e.nShards == 1 {
+			// Route through the common single-shard fast path.
+			identity := make([]int, db.NumSequences())
+			for i := range identity {
+				identity[i] = i
+			}
+			e.indexes = []*core.MemoryIndex{idx}
+			e.globals = [][]int{identity}
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown partition mode %d", opts.Partition)
 	}
 	e.workers = opts.Workers
-	if e.workers < 1 || e.workers > len(e.indexes) {
-		e.workers = len(e.indexes)
+	if e.workers < 1 || e.workers > e.nShards {
+		e.workers = e.nShards
 	}
 	// Hold enough idle scratches for a few concurrent queries, each using
-	// one scratch per shard search.
-	e.scratch = bufferpool.NewFreeList(4*len(e.indexes), core.NewScratch)
+	// one scratch per shard search (plus the frontier expansion in prefix
+	// mode).
+	e.scratch = bufferpool.NewFreeList(4*(e.nShards+1), core.NewScratch)
+	e.dedups = bufferpool.NewFreeList(8, func() *dedupSet { return &dedupSet{} })
+	e.queued = make([]atomic.Int64, e.nShards)
+	e.active = make([]atomic.Int64, e.nShards)
 	return e, nil
 }
 
@@ -92,14 +172,41 @@ func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 // buffers instead of allocating fresh ones.
 func (e *Engine) ScratchStats() bufferpool.FreeListStats { return e.scratch.Stats() }
 
-// NumShards returns the number of partitions.
-func (e *Engine) NumShards() int { return len(e.indexes) }
+// QueueDepth is one shard's instantaneous load: searches waiting for a
+// worker-pool slot and searches currently running.
+type QueueDepth struct {
+	Shard  int   `json:"shard"`
+	Queued int64 `json:"queued"`
+	Active int64 `json:"active"`
+}
+
+// QueueDepths returns a snapshot of every shard's queued and active search
+// counts (capacity-planning metric; see cmd/oasis-serve's /metrics).
+func (e *Engine) QueueDepths() []QueueDepth {
+	out := make([]QueueDepth, e.nShards)
+	for s := range out {
+		out[s] = QueueDepth{Shard: s, Queued: e.queued[s].Load(), Active: e.active[s].Load()}
+	}
+	return out
+}
+
+// Partition returns the engine's partition mode.
+func (e *Engine) Partition() PartitionMode { return e.mode }
+
+// NumShards returns the number of work partitions.
+func (e *Engine) NumShards() int { return e.nShards }
 
 // Workers returns the concurrency bound for shard searches.
 func (e *Engine) Workers() int { return e.workers }
 
-// Shard exposes one shard's index (tests and diagnostics).
-func (e *Engine) Shard(i int) core.Index { return e.indexes[i] }
+// Shard exposes one shard's index (tests and diagnostics); in prefix mode
+// every shard searches the same shared index.
+func (e *Engine) Shard(i int) core.Index {
+	if e.mode == PartitionByPrefix {
+		return e.shared
+	}
+	return e.indexes[i]
+}
 
 // event is one message from a shard goroutine to the merger.
 type event struct {
@@ -125,7 +232,7 @@ const (
 // Stats.Add; hit ranks are assigned by the merger.  Returning false from
 // report cancels every shard search.
 func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) bool) error {
-	if len(e.indexes) == 1 {
+	if e.nShards == 1 {
 		// One shard is the single-index search; skip the merge machinery.
 		globals := e.globals[0]
 		n := 0
@@ -134,6 +241,8 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 			opts.Scratch = sc
 			defer e.scratch.Put(sc)
 		}
+		e.active[0].Add(1)
+		defer e.active[0].Add(-1)
 		return core.Search(e.indexes[0], query, opts, func(h core.Hit) bool {
 			h.SeqIndex = globals[h.SeqIndex]
 			n++
@@ -144,7 +253,20 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 	if err := opts.Scheme.Validate(); err != nil {
 		return err
 	}
+	if e.mode == PartitionByPrefix {
+		return e.searchPrefix(query, opts, report)
+	}
+	return e.searchSequence(query, opts, report)
+}
 
+// shardSearchFn runs one shard's search with the prepared per-shard options,
+// forwarding hits (with global sequence indexes) and frontier bounds to the
+// supplied callbacks.
+type shardSearchFn func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(bound int) bool) error
+
+// searchSequence is the PartitionBySequence multi-shard search: independent
+// per-shard indexes, disjoint sequence subsets, no deduplication needed.
+func (e *Engine) searchSequence(query []byte, opts core.Options, report func(core.Hit) bool) error {
 	// Every shard starts from the same root frontier: the strongest f any
 	// search over this query can hold (max heuristic among unpruned query
 	// positions).  Using it as the initial bound lets the merger reason
@@ -157,26 +279,93 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 			}
 		}
 	}
+	bounds := make([]int, e.nShards)
+	for s := range bounds {
+		bounds[s] = rootBound
+	}
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, report, nil,
+		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+			globals := e.globals[s]
+			return core.SearchStream(e.indexes[s], query, shardOpts, func(h core.Hit) bool {
+				h.SeqIndex = globals[h.SeqIndex]
+				return hit(h)
+			}, frontier)
+		})
+}
 
-	nShards := len(e.indexes)
-	events := make(chan event, 4*nShards+16)
+// searchPrefix is the PartitionByPrefix multi-shard search: one shared
+// near-root expansion (columns computed once), then one seeded searcher per
+// shard over its disjoint subtrees, with sequence-level deduplication in the
+// merger.
+func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.Hit) bool) error {
+	frOpts := opts
+	frOpts.KA = nil
+	frOpts.Stats = nil
+	// The frontier's seeds are independent copies, so a pooled scratch goes
+	// back as soon as the expansion returns instead of being pinned for the
+	// whole query.
+	var pooled *core.Scratch
+	if frOpts.Scratch == nil {
+		pooled = e.scratch.Get()
+		frOpts.Scratch = pooled
+	}
+	fr, err := core.ExpandFrontier(e.shared, query, frOpts, e.prefixes)
+	if pooled != nil {
+		e.scratch.Put(pooled)
+	}
+	if err != nil {
+		return err
+	}
+	dedup := e.dedups.Get()
+	dedup.acquire(e.numSeqs)
+	defer e.dedups.Put(dedup)
+	return e.fanOutMerge(query, opts, fr.Bounds, dedup, fr.Stats, report,
+		func(s int) bool { return len(fr.Seeds[s]) == 0 },
+		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+			// The merger truncates the merged stream; a per-shard MaxResults
+			// budget could otherwise be exhausted by hits that later
+			// deduplicate away, starving the stream of hits another shard
+			// never got to report.
+			shardOpts.MaxResults = 0
+			return core.SearchSeedsStream(e.shared, query, shardOpts, fr.Seeds[s], hit, frontier)
+		})
+}
+
+// fanOutMerge is the shared fan-out/merge scaffolding of both partition
+// modes: one goroutine per shard on the bounded worker pool, each adapted
+// into merger events by runShardStream, merged by a merger configured with
+// the per-shard initial bounds and (pooled) dedup set.  Shards the idle predicate
+// (optional) marks as workless are completed immediately without spending a
+// goroutine, worker-pool slot or scratch — with more prefix shards than
+// prefix groups, seedless shards would otherwise queue real work behind
+// no-op searcher setup.  extraStats (the prefix mode's shared frontier
+// work) and the per-shard counters are merged into opts.Stats once every
+// shard has unwound.
+func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedup *dedupSet, extraStats core.Stats, report func(core.Hit) bool, idle func(s int) bool, search shardSearchFn) error {
+	// The buffer holds at least one event per shard, so the idle-shard
+	// completions below never block before the merger starts draining.
+	events := make(chan event, 4*e.nShards+16)
 	var cancelled atomic.Bool
-	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
-	for s := 0; s < nShards; s++ {
+	sem := make(chan struct{}, e.workers)
+	for s := 0; s < e.nShards; s++ {
+		if idle != nil && idle(s) {
+			events <- event{shard: s, kind: evDone}
+			continue
+		}
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e.runShard(s, query, opts, events, &cancelled)
+			defer e.releaseWorker(s, sem)
+			e.acquireWorker(s, sem)
+			e.runShardStream(s, opts, events, &cancelled, search)
 		}(s)
 	}
-
-	m := newMerger(nShards, rootBound, opts, e.total, len(query), report)
+	m := newMerger(bounds, opts, e.total, len(query), dedup, report)
 	err := m.run(events, &cancelled)
 	wg.Wait()
 	if opts.Stats != nil {
+		opts.Stats.Add(extraStats)
 		for _, st := range m.shardStats {
 			opts.Stats.Add(st)
 		}
@@ -184,10 +373,24 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 	return err
 }
 
-// runShard executes one shard's search, remapping hits to global sequence
-// indexes and forwarding hits, frontier bounds and completion to the merger.
-func (e *Engine) runShard(s int, query []byte, opts core.Options, events chan<- event, cancelled *atomic.Bool) {
-	globals := e.globals[s]
+// acquireWorker/releaseWorker wrap the worker-pool semaphore with the
+// queue-depth accounting.
+func (e *Engine) acquireWorker(s int, sem chan struct{}) {
+	e.queued[s].Add(1)
+	sem <- struct{}{}
+	e.queued[s].Add(-1)
+	e.active[s].Add(1)
+}
+
+func (e *Engine) releaseWorker(s int, sem chan struct{}) {
+	<-sem
+	e.active[s].Add(-1)
+}
+
+// runShardStream executes one shard's search and adapts it into merger
+// events: hits and strictly decreasing frontier bounds are forwarded until
+// cancellation, then completion is signalled with the shard's work counters.
+func (e *Engine) runShardStream(s int, opts core.Options, events chan<- event, cancelled *atomic.Bool, search shardSearchFn) {
 	var st core.Stats
 	shardOpts := opts
 	shardOpts.Stats = &st
@@ -201,12 +404,11 @@ func (e *Engine) runShard(s int, query []byte, opts core.Options, events chan<- 
 	shardOpts.Scratch = sc
 	defer e.scratch.Put(sc)
 	lastBound := int(^uint(0) >> 1) // MaxInt
-	err := core.SearchStream(e.indexes[s], query, shardOpts,
+	err := search(s, shardOpts,
 		func(h core.Hit) bool {
 			if cancelled.Load() {
 				return false
 			}
-			h.SeqIndex = globals[h.SeqIndex]
 			h.Rank = 0
 			events <- event{shard: s, kind: evHit, hit: h}
 			return true

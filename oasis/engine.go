@@ -10,9 +10,13 @@ import (
 
 // EngineOptions configures a warm batch query engine.
 type EngineOptions struct {
-	// Shards is the number of database partitions (default 1; capped at the
-	// number of sequences).
+	// Shards is the number of work partitions (default 1; capped at the
+	// number of sequences unless PartitionByPrefix is set).
 	Shards int
+	// PartitionByPrefix selects prefix-partitioned subtree sharding (one
+	// shared suffix tree, disjoint subtrees per shard) instead of
+	// partitioning the database by sequence; see ShardOptions.
+	PartitionByPrefix bool
 	// ShardWorkers bounds how many shard searches run concurrently within
 	// one query (default: one per shard).
 	ShardWorkers int
@@ -53,10 +57,11 @@ type Engine struct {
 // opts.Shards shards, each indexed once.
 func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
 	eng, err := engine.New(db, engine.Options{
-		Shards:       opts.Shards,
-		ShardWorkers: opts.ShardWorkers,
-		BatchWorkers: opts.BatchWorkers,
-		ResultBuffer: opts.ResultBuffer,
+		Shards:            opts.Shards,
+		PartitionByPrefix: opts.PartitionByPrefix,
+		ShardWorkers:      opts.ShardWorkers,
+		BatchWorkers:      opts.BatchWorkers,
+		ResultBuffer:      opts.ResultBuffer,
 	})
 	if err != nil {
 		return nil, err
@@ -90,6 +95,16 @@ func (e *Engine) Stats() EngineStats {
 	st, queries, hits := e.eng.Stats()
 	return EngineStats{Search: st, QueriesServed: queries, HitsReported: hits}
 }
+
+// EngineMetrics is a point-in-time snapshot of an engine's resource usage:
+// pooled-scratch reuse (FreeListStats) and per-shard worker-pool queue
+// depths.  Unlike EngineStats (lifetime totals), metrics describe the
+// current load and are meant for capacity planning (cmd/oasis-serve exposes
+// them at /metrics).
+type EngineMetrics = engine.Metrics
+
+// Metrics returns the engine's current resource-usage snapshot.
+func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }
 
 // BatchQuery is one query of a batch.
 type BatchQuery struct {

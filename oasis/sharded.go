@@ -7,13 +7,22 @@ import (
 
 // ShardOptions configures a sharded in-memory search engine.
 type ShardOptions struct {
-	// Shards is the number of database partitions; the database is split
-	// into this many independently indexed shards balanced by residue
-	// count (default 1; capped at the number of sequences).
+	// Shards is the number of work partitions (default 1).  Without
+	// PartitionByPrefix the database is split into this many independently
+	// indexed shards balanced by residue count (capped at the number of
+	// sequences).
 	Shards int
 	// Workers bounds how many shard searches run concurrently for one
 	// query (default: one worker per shard).
 	Workers int
+	// PartitionByPrefix selects prefix-partitioned subtree sharding: ONE
+	// shared suffix tree is built and shards search disjoint top-level
+	// subtrees assigned by suffix prefix, so near-root DP columns are
+	// computed once per query instead of once per shard and total work
+	// stays flat as the shard count grows.  Hit sets and scores are
+	// identical in both modes; alignment endpoints of equal-score ties may
+	// differ.
+	PartitionByPrefix bool
 }
 
 // ShardedIndex is a sharded parallel OASIS engine: one suffix-tree index
@@ -36,10 +45,19 @@ type ShardedIndex struct {
 	db     *Database
 }
 
-// NewShardedIndex partitions db into opts.Shards shards balanced by residue
-// count and builds one in-memory suffix-tree index per shard.
+// NewShardedIndex partitions the work for db into opts.Shards shards: one
+// in-memory suffix-tree index per shard by default, or one shared index with
+// per-shard subtree assignments when opts.PartitionByPrefix is set.
 func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
-	engine, err := shard.NewEngine(db, shard.Options{Shards: opts.Shards, Workers: opts.Workers})
+	mode := shard.PartitionBySequence
+	if opts.PartitionByPrefix {
+		mode = shard.PartitionByPrefix
+	}
+	engine, err := shard.NewEngine(db, shard.Options{
+		Shards:    opts.Shards,
+		Workers:   opts.Workers,
+		Partition: mode,
+	})
 	if err != nil {
 		return nil, err
 	}

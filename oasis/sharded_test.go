@@ -73,3 +73,75 @@ func TestShardedIndexPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestPrefixShardedIndexPublicAPI drives prefix-partitioned subtree sharding
+// through the public facade: identical hit sets and scores as the
+// single-index search, with total ColumnsExpanded matching the single-index
+// count exactly (the shared frontier removes per-shard near-root work).
+func TestPrefixShardedIndexPublicAPI(t *testing.T) {
+	cfg := workload.DefaultProteinConfig(30_000)
+	cfg.Seed = 78
+	db, motifs, err := workload.ProteinDatabase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.MotifQueries(db, motifs, workload.DefaultQueryConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("PAM30"), -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := oasis.NewShardedIndex(db, oasis.ShardOptions{
+		Shards: 4, Workers: 2, PartitionByPrefix: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.NumShards() != 4 {
+		t.Fatalf("got %d shards, want 4", sharded.NumShards())
+	}
+	for _, q := range queries {
+		opts, err := oasis.NewSearchOptions(scheme, db, q.Residues, oasis.WithEValue(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base oasis.SearchStats
+		baseOpts := opts
+		baseOpts.Stats = &base
+		want, err := oasis.SearchAll(single, q.Residues, baseOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st oasis.SearchStats
+		opts.Stats = &st
+		got, err := sharded.SearchAll(q.Residues, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: prefix-sharded reported %d hits, single %d", q.ID, len(got), len(want))
+		}
+		seen := map[int]int{}
+		for _, h := range want {
+			seen[h.SeqIndex] = h.Score
+		}
+		for i, h := range got {
+			if s, ok := seen[h.SeqIndex]; !ok || s != h.Score {
+				t.Fatalf("query %s: hit %d (%s score %d) not in single-index results", q.ID, i, h.SeqID, h.Score)
+			}
+			if h.Score != want[i].Score {
+				t.Fatalf("query %s: score at position %d is %d, single-index has %d", q.ID, i, h.Score, want[i].Score)
+			}
+		}
+		if len(want) < db.NumSequences() && st.ColumnsExpanded != base.ColumnsExpanded {
+			t.Fatalf("query %s: prefix-sharded expanded %d columns, single-index %d",
+				q.ID, st.ColumnsExpanded, base.ColumnsExpanded)
+		}
+	}
+}
