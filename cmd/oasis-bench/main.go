@@ -12,6 +12,8 @@
 //	oasis-bench -exp fig9 -query DKDGDGCITTKEL
 //	oasis-bench -exp sharded,liveband -shards 1,2,4,8 -workers 4
 //	oasis-bench -exp batch -shards 4   # warm engine vs per-query setup
+//	oasis-bench -exp disk -shards 1,4  # per-shard disk indexes + buffer pools
+//	                                   # vs in-memory shards (cold-open, hit rates)
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch or all")
+		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk or all")
 		residues     = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries      = flag.Int("queries", 60, "number of motif queries")
 		eValue       = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -245,6 +247,36 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 					"queries":         float64(r.Queries),
 				},
 			})
+		}
+	}
+	if want("disk") {
+		// Disk-backed sharded serving vs in-memory shards at matched shard
+		// counts, per-shard buffer pools sized by -pool.
+		rows, err := experiments.Disk(lab, shardCounts, workers, cfg.BufferPoolBytes)
+		if err != nil {
+			return err
+		}
+		experiments.RenderDisk(out, rows)
+		for _, r := range rows {
+			name := fmt.Sprintf("disk/shards=%d", r.Shards)
+			if r.Mode == "memory" {
+				name = fmt.Sprintf("disk/memory/shards=%d", r.Shards)
+			}
+			rec := experiments.BenchRecord{
+				Name:    name,
+				NsPerOp: float64(r.QueryTime),
+				Extra: map[string]float64{
+					"queries_per_sec": r.QueriesPerSec,
+					"cold_open_ns":    float64(r.ColdOpen),
+					"setup_ns":        float64(r.Setup),
+					"hits":            float64(r.Hits),
+					"workers":         float64(r.Workers),
+				},
+			}
+			if r.Mode == "disk" {
+				rec.Extra["pool_hit_ratio"] = r.HitRatio
+			}
+			report.Records = append(report.Records, rec)
 		}
 	}
 	if jsonPath != "" && len(report.Records) > 0 {

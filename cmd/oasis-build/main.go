@@ -7,6 +7,19 @@
 //	oasis-build -in swissprot.fasta -alphabet protein -out swissprot.oasis
 //	oasis-build -synthetic 2000000 -alphabet protein -out synthetic.oasis
 //	oasis-build -synthetic 5000000 -alphabet dna -partitioned -out dna.oasis
+//
+// With -shards N the output is a SHARDED index: -out names a directory that
+// receives one shard-K.oasis file per shard plus a manifest.json recording
+// the partition, and oasis-serve/oasis-search/oasis-bench open it with
+// -index-dir — each shard is then searched through its own buffer pool, so
+// shard parallelism also parallelises I/O:
+//
+//	oasis-build -in swissprot.fasta -shards 4 -out swissprot.idx
+//	oasis-build -synthetic 2000000 -shards 4 -prefix-sharding -out synthetic.idx
+//
+// -prefix-sharding writes one SHARED index file plus a suffix-prefix ->
+// shard assignment (Hunt-style subtree partitions) instead of one
+// independently indexed file per sequence subset.
 package main
 
 import (
@@ -28,6 +41,8 @@ func main() {
 		blockSize   = flag.Int("block", 2048, "index block size in bytes")
 		partitioned = flag.Bool("partitioned", false, "use the partitioned (Hunt-style) construction")
 		prefixLen   = flag.Int("prefix", 1, "partition prefix length (with -partitioned)")
+		shards      = flag.Int("shards", 0, "write a sharded index: -out becomes a directory with one shard file per shard plus manifest.json (0 = single-file index)")
+		prefixShard = flag.Bool("prefix-sharding", false, "with -shards: one shared index file with a suffix-prefix -> shard assignment instead of per-sequence-subset files")
 		seed        = flag.Int64("seed", 1309, "seed for synthetic generation")
 		fastaOut    = flag.String("fasta-out", "", "also write the (synthetic) database as FASTA to this path")
 	)
@@ -52,6 +67,31 @@ func main() {
 		fmt.Printf("wrote database FASTA to %s\n", *fastaOut)
 	}
 
+	if *shards > 0 {
+		if *partitioned {
+			fatal(fmt.Errorf("-partitioned applies to single-file builds; sharded builds partition via -prefix-sharding"))
+		}
+		manifest, stats, err := oasis.BuildShardedDiskIndex(*outPath, db, oasis.ShardedIndexBuildOptions{
+			BlockSize:         *blockSize,
+			Shards:            *shards,
+			PartitionByPrefix: *prefixShard,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sharded index: %s (%d shards, %s partition)\n", *outPath, manifest.Shards, manifest.Partition)
+		var total int64
+		for i, st := range stats {
+			fmt.Printf("  %-16s %d internal nodes, %d leaves, %d bytes\n",
+				manifest.ShardFiles[i], st.NumInternal, st.NumLeaves, st.FileBytes)
+			total += st.FileBytes
+		}
+		fmt.Printf("  total:           %d bytes; serve with -index-dir %s\n", total, *outPath)
+		return
+	}
+	if *prefixShard {
+		fatal(fmt.Errorf("-prefix-sharding requires -shards"))
+	}
 	buildStats, err := oasis.BuildDiskIndex(*outPath, db, oasis.IndexBuildOptions{
 		BlockSize:   *blockSize,
 		Partitioned: *partitioned,

@@ -14,6 +14,10 @@
 //
 //	# Sharded parallel OASIS over an in-memory index built from FASTA
 //	oasis-search -db swissprot.fasta -shards 8 -workers 4 -query DKDGDGCITTKEL
+//
+//	# Sharded parallel OASIS over a prebuilt sharded DISK index
+//	# (oasis-build -shards 4 -out swissprot.idx), one buffer pool per shard
+//	oasis-search -index-dir swissprot.idx -query DKDGDGCITTKEL -top 10
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 type config struct {
 	indexPath string
+	indexDir  string
 	dbPath    string
 	algo      string
 	query     string
@@ -48,6 +53,7 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.indexPath, "index", "", "OASIS index file (for -algo oasis)")
+	flag.StringVar(&cfg.indexDir, "index-dir", "", "sharded OASIS index directory (oasis-build -shards); searched with one buffer pool per shard")
 	flag.StringVar(&cfg.dbPath, "db", "", "FASTA database (required for -algo sw/blast)")
 	flag.StringVar(&cfg.algo, "algo", "oasis", "search algorithm: oasis, sw or blast")
 	flag.StringVar(&cfg.query, "query", "", "query residues on the command line")
@@ -58,7 +64,7 @@ func main() {
 	flag.Float64Var(&cfg.eValue, "evalue", 20000, "E-value threshold (paper Equation 2)")
 	flag.IntVar(&cfg.minScore, "minscore", 0, "explicit minimum score (overrides -evalue)")
 	flag.IntVar(&cfg.top, "top", 0, "report only the top-k sequences (0 = all)")
-	flag.Int64Var(&cfg.poolMB, "pool", 256, "buffer pool size in MB (for -algo oasis)")
+	flag.Int64Var(&cfg.poolMB, "pool", 256, "buffer pool size in MB (for -algo oasis; with -index-dir the size is per shard)")
 	flag.IntVar(&cfg.shards, "shards", 0, "search a sharded in-memory index with this many partitions (requires -db; 0 = use -index)")
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent shard searches for -shards (0 = one per shard)")
 	flag.BoolVar(&cfg.prefix, "prefix-sharding", false, "partition -shards by suffix-tree prefix over one shared index instead of by sequence")
@@ -85,6 +91,20 @@ func run(cfg config) error {
 	scheme, err := oasis.NewScheme(matrix, cfg.gap)
 	if err != nil {
 		return err
+	}
+	// The -index-dir path defers query loading: the manifest, not the
+	// -alphabet flag, determines the encoding alphabet there.
+	if cfg.indexDir != "" {
+		if cfg.algo != "oasis" {
+			return fmt.Errorf("-index-dir requires -algo oasis")
+		}
+		if cfg.dbPath != "" || cfg.indexPath != "" {
+			return fmt.Errorf("-index-dir and -db/-index are mutually exclusive")
+		}
+		if cfg.shards > 0 || cfg.prefix {
+			return fmt.Errorf("-shards/-prefix-sharding come from the -index-dir manifest; do not set them")
+		}
+		return runDiskSharded(cfg, scheme)
 	}
 	queries, err := loadQueries(cfg, alpha)
 	if err != nil {
@@ -168,10 +188,43 @@ func runOASIS(cfg config, scheme oasis.Scheme, queries []oasis.Sequence) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("# %d sequences in %s; %d columns expanded, %d nodes expanded\n\n",
-			n, time.Since(start).Round(time.Microsecond), st.ColumnsExpanded, st.NodesExpanded)
+		fmt.Printf("# %d sequences in %s; %d columns expanded, %d cells, %d nodes expanded\n\n",
+			n, time.Since(start).Round(time.Microsecond), st.ColumnsExpanded, st.CellsComputed, st.NodesExpanded)
 	}
 	return nil
+}
+
+// runDiskSharded opens a prebuilt sharded disk index (oasis-build -shards)
+// and searches every query through the order-preserving parallel merge, each
+// shard reading through its own buffer pool.  Queries are encoded with the
+// MANIFEST's alphabet (the -alphabet flag is ignored here: encoding with the
+// wrong alphabet would silently search for different residues).
+func runDiskSharded(cfg config, scheme oasis.Scheme) error {
+	open := time.Now()
+	idx, err := oasis.NewShardedIndex(nil, oasis.ShardOptions{
+		IndexDir:  cfg.indexDir,
+		PoolBytes: cfg.poolMB << 20,
+		Workers:   cfg.workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	alpha := idx.Catalog().Alphabet()
+	if scheme.Matrix.Alphabet() != alpha {
+		return fmt.Errorf("matrix %q is over the %s alphabet, but the index at %s holds %s sequences",
+			cfg.matrix, scheme.Matrix.Alphabet().Name(), cfg.indexDir, alpha.Name())
+	}
+	queries, err := loadQueries(cfg, alpha)
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries: use -query or -queryfile")
+	}
+	fmt.Printf("# sharded disk index: %s, %d shards, %d workers, %s alphabet, opened in %s\n",
+		cfg.indexDir, idx.NumShards(), idx.Workers(), alpha.Name(), time.Since(open).Round(time.Millisecond))
+	return searchShardedIndex(cfg, scheme, queries, idx)
 }
 
 // runSharded builds a sharded in-memory engine from the FASTA database and
@@ -199,6 +252,15 @@ func runSharded(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries 
 	}
 	fmt.Printf("# sharded index: %d shards (%s), %d workers, built in %s\n",
 		idx.NumShards(), partition, idx.Workers(), time.Since(build).Round(time.Millisecond))
+	return searchShardedIndex(cfg, scheme, queries, idx)
+}
+
+// searchShardedIndex runs every query against a sharded engine — disk or
+// memory backed — printing hits online and the work-counter footer; the
+// engine's catalog supplies residues for -v alignment recovery and the
+// database size for E-value thresholds.
+func searchShardedIndex(cfg config, scheme oasis.Scheme, queries []oasis.Sequence, idx *oasis.ShardedIndex) error {
+	cat := idx.Catalog()
 	for _, q := range queries {
 		minScore := cfg.minScore
 		var ka *oasis.KarlinAltschul
@@ -208,7 +270,7 @@ func runSharded(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries 
 				return err
 			}
 			ka = &stats
-			minScore = stats.MinScore(cfg.eValue, q.Len(), db.TotalResidues())
+			minScore = stats.MinScore(cfg.eValue, q.Len(), idx.TotalResidues())
 		}
 		var st oasis.SearchStats
 		opts := oasis.SearchOptions{Scheme: scheme, MinScore: minScore, MaxResults: cfg.top, KA: ka, Stats: &st}
@@ -220,8 +282,10 @@ func runSharded(cfg config, alpha *oasis.Alphabet, scheme oasis.Scheme, queries 
 			fmt.Printf("%4d  %-24s score=%-6d E=%-12.3g qEnd=%-4d tEnd=%-6d t=%s\n",
 				h.Rank, h.SeqID, h.Score, h.EValue, h.QueryEnd, h.TargetEnd, time.Since(start).Round(time.Microsecond))
 			if cfg.verbose {
-				if a, err := idx.RecoverAlignment(q.Residues, scheme, h); err == nil {
-					fmt.Print(a.Format(db.Alphabet(), q.Residues, db.Sequence(h.SeqIndex).Residues))
+				a, aErr := idx.RecoverAlignment(q.Residues, scheme, h)
+				res, rErr := cat.Residues(h.SeqIndex)
+				if aErr == nil && rErr == nil {
+					fmt.Print(a.Format(cat.Alphabet(), q.Residues, res))
 				}
 			}
 			return true

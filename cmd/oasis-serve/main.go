@@ -1,24 +1,69 @@
-// Command oasis-serve is the long-running OASIS search server: it loads a
-// FASTA database, builds a warm sharded engine ONCE, and then serves many
-// queries over HTTP, amortising index construction and searcher scratch
-// across the whole query stream (the batch-engine counterpart of the paper's
-// online search property: build once, serve many, stream top-k).
+// Command oasis-serve is the long-running OASIS search server: it builds (or
+// opens) a warm sharded engine ONCE, and then serves many queries over HTTP,
+// amortising index construction and searcher scratch across the whole query
+// stream (the batch-engine counterpart of the paper's online search
+// property: build once, serve many, stream top-k).
 //
-// Endpoints:
+// The engine comes from one of two sources:
 //
-//	GET  /healthz  liveness + database shape
-//	GET  /stats    lifetime engine counters (queries, hits, work)
-//	GET  /metrics  resource snapshot: scratch free-list reuse, per-shard
-//	               worker-pool queue depths, batch limit
-//	POST /search   one query; NDJSON stream of hits in decreasing score order
-//	POST /batch    many queries multiplexed over one connection; events carry
-//	               query_id, each query's hits are decreasing-score.
-//	               Batches over -max-batch are rejected with HTTP 413 so one
-//	               huge batch cannot monopolise the worker pool.
+//	-db swissprot.fasta      load FASTA and index it in memory at startup
+//	-index-dir swissprot.idx open a prebuilt sharded DISK index directory
+//	                         (oasis-build -shards N [-prefix-sharding]); each
+//	                         shard is searched through its own buffer pool
+//	                         (-pool MB per shard), so the server can serve
+//	                         databases bigger than RAM and shard parallelism
+//	                         also parallelises page I/O
+//
+// # Endpoints
+//
+// POST /search runs one query.  Request body (JSON):
+//
+//	{"query":"DKDGDGCITTKEL",  // residue string, required
+//	 "id":"q1",                // optional stream label
+//	 "evalue":20000,           // optional E-value threshold (default -evalue)
+//	 "min_score":45,           // optional explicit threshold (overrides evalue)
+//	 "top":5}                  // optional top-k truncation
+//
+// The response is an NDJSON stream (Content-Type application/x-ndjson),
+// flushed per line so hits arrive online in decreasing score order:
+//
+//	{"type":"hit","query_id":"q1","rank":1,"seq_id":"SYN|P00063","score":37,"evalue":0.43}
+//	...
+//	{"type":"done","query_id":"q1","hits":5,"elapsed_ms":4.2,"stats":{...work counters...}}
+//
+// A query that fails mid-stream ends with {"type":"error", "error":"..."}
+// instead of "done".  Invalid requests get HTTP 400 with {"error":"..."}.
+//
+// POST /batch accepts {"queries":[<search request>, ...]} and multiplexes
+// every query's hit stream onto one NDJSON response; events carry query_id
+// so clients demultiplex, each query's hits are decreasing-score, and every
+// query ends with its own "done"/"error" event.  Batches over -max-batch are
+// rejected with HTTP 413 so one huge batch cannot monopolise the worker
+// pool.
+//
+// GET /metrics returns a JSON resource snapshot for capacity planning:
+//
+//	{"engine":{"scratch":{...free-list reuse...},
+//	           "shards":[{"shard":0,"queued":0,"active":1},...],
+//	           "pools":[{"shard":0,"requests":512,"hits":498,"hit_ratio":0.97},...]},
+//	 "latency":{"search":{"count":42,"mean_ms":3.1,"max_ms":17.8,
+//	            "buckets":[{"le_ms":0.25,"count":0},...,{"le_ms":-1,"count":42}]},
+//	            "batch":{...},"healthz":{...},"stats":{...},"metrics":{...}},
+//	 "queries_served":128,"hits_reported":3072,"max_batch":256}
+//
+// "pools" is present only for -index-dir engines (shard -1 is the shared
+// prefix-mode frontier view).  "latency" holds one histogram per endpoint,
+// measured from request decode through the last streamed event; bucket
+// counts are cumulative with upper bounds in milliseconds and le_ms -1
+// marking the unbounded bucket.
+//
+// GET /healthz returns liveness plus the database shape; GET /stats returns
+// the engine's lifetime counters (queries, hits, merged work counters).
 //
 // Example:
 //
 //	oasis-serve -db swissprot.fasta -shards 8 -addr :8080
+//	oasis-serve -index-dir swissprot.idx -pool 64 -addr :8080
 //	curl -sN localhost:8080/search -d '{"query":"DKDGDGCITTKEL","top":5}'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close first,
@@ -41,77 +86,128 @@ import (
 	"repro/oasis"
 )
 
+// serveFlags bundles the command-line configuration.
+type serveFlags struct {
+	addr         string
+	dbPath       string
+	indexDir     string
+	poolMB       int64
+	alphabet     string
+	matrix       string
+	gap          int
+	eValue       float64
+	shards       int
+	prefixShards bool
+	shardWorkers int
+	batchWorkers int
+	maxBatch     int
+	shutdownWait time.Duration
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		dbPath       = flag.String("db", "", "FASTA database to index and serve (required)")
-		alphabet     = flag.String("alphabet", "protein", "alphabet: protein or dna")
-		matrix       = flag.String("matrix", "PAM30", "substitution matrix")
-		gap          = flag.Int("gap", -10, "linear gap penalty (negative)")
-		eValue       = flag.Float64("evalue", 20000, "default E-value threshold for queries that do not set one")
-		shards       = flag.Int("shards", 0, "work partitions (0 = one)")
-		prefixShards = flag.Bool("prefix-sharding", false, "partition by suffix-tree prefix over one shared index instead of by sequence (near-root work done once per query)")
-		shardWorkers = flag.Int("shard-workers", 0, "concurrent shard searches per query (0 = one per shard)")
-		batchWorkers = flag.Int("batch-workers", 0, "concurrent queries per batch (0 = GOMAXPROCS)")
-		maxBatch     = flag.Int("max-batch", 256, "maximum queries per /batch request")
-		shutdownWait = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
-	)
+	var f serveFlags
+	flag.StringVar(&f.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&f.dbPath, "db", "", "FASTA database to index in memory and serve")
+	flag.StringVar(&f.indexDir, "index-dir", "", "prebuilt sharded disk index directory (oasis-build -shards) to serve instead of -db")
+	flag.Int64Var(&f.poolMB, "pool", 64, "per-shard buffer pool size in MB (with -index-dir)")
+	flag.StringVar(&f.alphabet, "alphabet", "protein", "alphabet: protein or dna (with -db; -index-dir reads it from the manifest)")
+	flag.StringVar(&f.matrix, "matrix", "PAM30", "substitution matrix")
+	flag.IntVar(&f.gap, "gap", -10, "linear gap penalty (negative)")
+	flag.Float64Var(&f.eValue, "evalue", 20000, "default E-value threshold for queries that do not set one")
+	flag.IntVar(&f.shards, "shards", 0, "work partitions (0 = one; with -db only, -index-dir reads it from the manifest)")
+	flag.BoolVar(&f.prefixShards, "prefix-sharding", false, "partition by suffix-tree prefix over one shared index instead of by sequence (near-root work done once per query; with -db only)")
+	flag.IntVar(&f.shardWorkers, "shard-workers", 0, "concurrent shard searches per query (0 = one per shard)")
+	flag.IntVar(&f.batchWorkers, "batch-workers", 0, "concurrent queries per batch (0 = GOMAXPROCS)")
+	flag.IntVar(&f.maxBatch, "max-batch", 256, "maximum queries per /batch request")
+	flag.DurationVar(&f.shutdownWait, "shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
-	if err := run(*addr, *dbPath, *alphabet, *matrix, *gap, *eValue,
-		*shards, *prefixShards, *shardWorkers, *batchWorkers, *maxBatch, *shutdownWait); err != nil {
+	if err := run(f); err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
-	shards int, prefixShards bool, shardWorkers, batchWorkers, maxBatch int, shutdownWait time.Duration) error {
-	if dbPath == "" {
-		return fmt.Errorf("-db is required")
+// buildEngine assembles the warm engine from either source: an in-memory
+// index built from FASTA, or a prebuilt sharded disk index directory.
+func buildEngine(f serveFlags) (*oasis.Engine, string, error) {
+	if f.indexDir != "" {
+		if f.dbPath != "" {
+			return nil, "", fmt.Errorf("-db and -index-dir are mutually exclusive")
+		}
+		if f.shards != 0 || f.prefixShards {
+			return nil, "", fmt.Errorf("-shards/-prefix-sharding come from the -index-dir manifest; do not set them")
+		}
+		log.Printf("opening sharded disk index %s ...", f.indexDir)
+		eng, err := oasis.OpenEngine(f.indexDir, oasis.EngineOptions{
+			PoolBytes:    f.poolMB << 20,
+			ShardWorkers: f.shardWorkers,
+			BatchWorkers: f.batchWorkers,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return eng, fmt.Sprintf("disk-backed (%s partition, <=%d MB pool per shard)", eng.Partition(), f.poolMB), nil
+	}
+	if f.dbPath == "" {
+		return nil, "", fmt.Errorf("either -db or -index-dir is required")
 	}
 	alpha := oasis.Protein
-	if alphabet == "dna" {
+	if f.alphabet == "dna" {
 		alpha = oasis.DNA
-	} else if alphabet != "protein" {
-		return fmt.Errorf("unknown alphabet %q", alphabet)
+	} else if f.alphabet != "protein" {
+		return nil, "", fmt.Errorf("unknown alphabet %q", f.alphabet)
 	}
-	matrix := oasis.MatrixByName(matrixName)
-	if matrix == nil {
-		return fmt.Errorf("unknown matrix %q", matrixName)
-	}
-	scheme, err := oasis.NewScheme(matrix, gap)
+	log.Printf("loading %s ...", f.dbPath)
+	db, err := oasis.LoadFASTA(f.dbPath, alpha)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-
-	log.Printf("loading %s ...", dbPath)
-	db, err := oasis.LoadFASTA(dbPath, alpha)
-	if err != nil {
-		return err
-	}
-	build := time.Now()
 	eng, err := oasis.NewEngine(db, oasis.EngineOptions{
-		Shards:            shards,
-		PartitionByPrefix: prefixShards,
-		ShardWorkers:      shardWorkers,
-		BatchWorkers:      batchWorkers,
+		Shards:            f.shards,
+		PartitionByPrefix: f.prefixShards,
+		ShardWorkers:      f.shardWorkers,
+		BatchWorkers:      f.batchWorkers,
 	})
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	partition := "by-sequence"
-	if prefixShards {
+	if f.prefixShards {
 		partition = "by-prefix (shared index)"
 	}
-	log.Printf("warm engine ready: %d sequences (%d residues), %d shards %s, built in %s",
-		db.NumSequences(), db.TotalResidues(), eng.NumShards(), partition, time.Since(build).Round(time.Millisecond))
+	return eng, "in-memory " + partition, nil
+}
+
+func run(f serveFlags) error {
+	matrix := oasis.MatrixByName(f.matrix)
+	if matrix == nil {
+		return fmt.Errorf("unknown matrix %q", f.matrix)
+	}
+	scheme, err := oasis.NewScheme(matrix, f.gap)
+	if err != nil {
+		return err
+	}
+
+	build := time.Now()
+	eng, mode, err := buildEngine(f)
+	if err != nil {
+		return err
+	}
+	// Fail fast on a matrix/index alphabet mismatch: the server would start
+	// "healthy" and then reject every query at search time.
+	if scheme.Matrix.Alphabet() != eng.Alphabet() {
+		return fmt.Errorf("matrix %q is over the %s alphabet, but the served database holds %s sequences",
+			f.matrix, scheme.Matrix.Alphabet().Name(), eng.Alphabet().Name())
+	}
+	log.Printf("warm engine ready: %d sequences (%d residues), %d shards %s, ready in %s",
+		eng.NumSequences(), eng.TotalResidues(), eng.NumShards(), mode, time.Since(build).Round(time.Millisecond))
 
 	srv := &http.Server{
-		Addr: addr,
+		Addr: f.addr,
 		Handler: newServer(eng, serverConfig{
 			scheme:        scheme,
-			defaultEValue: eValue,
-			maxBatch:      maxBatch,
+			defaultEValue: f.eValue,
+			maxBatch:      f.maxBatch,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -120,7 +216,7 @@ func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", addr)
+		log.Printf("serving on %s", f.addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -129,8 +225,8 @@ func run(addr, dbPath, alphabet, matrixName string, gap int, eValue float64,
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", shutdownWait)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownWait)
+	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", f.shutdownWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.shutdownWait)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

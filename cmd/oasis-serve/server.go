@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/oasis"
 )
@@ -60,6 +61,9 @@ type server struct {
 	eng *oasis.Engine
 	cfg serverConfig
 	mux *http.ServeMux
+	// lat holds one latency histogram per endpoint, keyed by the /metrics
+	// label; populated once in newServer, so reads are lock-free.
+	lat map[string]*latencyHistogram
 }
 
 // newServer builds the HTTP handler: build the engine once, serve many
@@ -72,13 +76,27 @@ func newServer(eng *oasis.Engine, cfg serverConfig) *server {
 	if cfg.maxQueryLen <= 0 {
 		cfg.maxQueryLen = 10_000
 	}
-	s := &server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /search", s.handleSearch)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s := &server{eng: eng, cfg: cfg, mux: http.NewServeMux(), lat: map[string]*latencyHistogram{}}
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /stats", "stats", s.handleStats)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("POST /search", "search", s.handleSearch)
+	s.handle("POST /batch", "batch", s.handleBatch)
 	return s
+}
+
+// handle registers an endpoint wrapped with its latency histogram.  The
+// timer spans the whole handler — request decode through the last streamed
+// event — so the search/batch histograms measure what a slowest-consumer
+// client experiences end to end, not just time-to-first-hit.
+func (s *server) handle(pattern, label string, h http.HandlerFunc) {
+	hist := &latencyHistogram{}
+	s.lat[label] = hist
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -87,8 +105,8 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"shards":    s.eng.NumShards(),
-		"sequences": s.eng.DB().NumSequences(),
-		"residues":  s.eng.DB().TotalResidues(),
+		"sequences": s.eng.NumSequences(),
+		"residues":  s.eng.TotalResidues(),
 	})
 }
 
@@ -97,12 +115,18 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics exposes the engine's resource snapshot for capacity
-// planning: searcher-scratch free-list reuse and per-shard worker-pool
-// queue depths, alongside the lifetime traffic counters.
+// planning: searcher-scratch free-list reuse, per-shard worker-pool queue
+// depths, per-shard buffer-pool hit rates (disk-backed engines), and one
+// latency histogram per endpoint, alongside the lifetime traffic counters.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
+	latency := make(map[string]latencySnapshot, len(s.lat))
+	for label, hist := range s.lat {
+		latency[label] = hist.snapshot()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"engine":         s.eng.Metrics(),
+		"latency":        latency,
 		"queries_served": st.QueriesServed,
 		"hits_reported":  st.HitsReported,
 		"max_batch":      s.cfg.maxBatch,
@@ -114,8 +138,7 @@ func (s *server) buildQuery(req searchRequest, index int) (oasis.BatchQuery, err
 	if req.Query == "" {
 		return oasis.BatchQuery{}, fmt.Errorf("query %d: empty query", index)
 	}
-	db := s.eng.DB()
-	residues, err := db.Alphabet().Encode(req.Query)
+	residues, err := s.eng.Alphabet().Encode(req.Query)
 	if err != nil {
 		return oasis.BatchQuery{}, fmt.Errorf("query %d: %w", index, err)
 	}
@@ -134,7 +157,7 @@ func (s *server) buildQuery(req searchRequest, index int) (oasis.BatchQuery, err
 	if req.Top > 0 {
 		optFns = append(optFns, oasis.WithMaxResults(req.Top))
 	}
-	opts, err := oasis.NewSearchOptions(s.cfg.scheme, db, residues, optFns...)
+	opts, err := oasis.NewSearchOptionsSized(s.cfg.scheme, s.eng.TotalResidues(), residues, optFns...)
 	if err != nil {
 		return oasis.BatchQuery{}, fmt.Errorf("query %d: %w", index, err)
 	}

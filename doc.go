@@ -36,10 +36,25 @@
 //     query's hit stream stays decreasing-score and cancellable — build
 //     once, serve many.  cmd/oasis-serve is the HTTP/NDJSON front end over
 //     one such engine (see examples/server for the lifecycle): /metrics
-//     exposes the scratch free-list stats and per-shard worker-pool queue
-//     depths for capacity planning, and batches over -max-batch are
+//     exposes the scratch free-list stats, per-shard worker-pool queue
+//     depths, per-shard buffer-pool hit rates and per-endpoint latency
+//     histograms for capacity planning, and batches over -max-batch are
 //     rejected with HTTP 413 so one huge batch cannot monopolise the
 //     worker pool.
+//   - The entire sharded serving stack also runs DISK-BACKED, so one warm
+//     engine serves databases bigger than RAM: oasis-build -shards writes
+//     one diskst index file per shard (or, with -prefix-sharding, one
+//     shared file plus a suffix-prefix -> shard assignment) and a
+//     manifest.json (internal/diskst.BuildSharded); oasis.OpenEngine /
+//     ShardOptions.IndexDir and the -index-dir flag of
+//     oasis-serve/oasis-search/oasis-bench reopen the directory with one
+//     buffer pool PER SHARD (shard.NewEngineFromSet over diskst indexes),
+//     so a query's shard fan-out fans out page I/O with no cross-shard
+//     cache thrash, and hit streams are identical to the in-memory
+//     engines (randomized equivalence tests pin this in both partition
+//     modes).  oasis-bench -exp disk measures cold-open latency,
+//     queries/sec and buffer-pool hit rates against in-memory shards at
+//     matched shard counts (disk/shards=N in BENCH_oasis.json).
 //
 // The search kernels are pinned by a fuzz/golden/race test layer: native Go
 // fuzz targets assert live-band/full-sweep hit identity and the sharded

@@ -2,6 +2,8 @@
 // paper Section 3.4 and the machinery to build it, write it, and search it
 // through a buffer pool.
 //
+// # Single-file layout
+//
 // The index file contains four regions, each aligned to the block size:
 //
 //	symbols   — the encoded concatenated database (1 byte per symbol, a
@@ -12,12 +14,72 @@
 //	            (the array index IS the symbol-array offset, as in the paper)
 //	catalog   — sequence identifiers and lengths
 //
+// Byte layout (every region starts on a BlockSize boundary; offsets and
+// lengths are recorded in the header):
+//
+//	offset 0                                         1 block
+//	┌─────────────────────────────────────────────────────┐
+//	│ header (128 bytes used, rest of the block zero)     │
+//	│  0  magic "OASISIDX"        8  version    u32       │
+//	│ 12  blockSize   u32        16  alphabet   u32 (0=aa,│
+//	│ 24  numSeqs     u64        32  concatLen  u64  1=nt)│
+//	│ 40  numInternal u64        48  symbolsOff u64       │
+//	│ 56  internalOff u64        64  leavesOff  u64       │
+//	│ 72  catalogOff  u64        80  catalogLen u64       │
+//	├─────────────────────────────────────────────────────┤
+//	│ symbols: concatLen bytes, one symbol code per byte, │
+//	│          terminator after each sequence             │
+//	├─────────────────────────────────────────────────────┤
+//	│ internal: numInternal × 16-byte records (BFS order) │
+//	│   0 depth u32   4 edgeStart u32                     │
+//	│   8 firstChild u32 (tagged)  12 flags u32 (bit 0 =  │
+//	│                                 last sibling)       │
+//	├─────────────────────────────────────────────────────┤
+//	│ leaves: concatLen × 4-byte tagged next-sibling      │
+//	│         pointers, indexed by suffix start position  │
+//	├─────────────────────────────────────────────────────┤
+//	│ catalog: u32 count, then per sequence               │
+//	│          u32 idLen, id bytes, u64 length            │
+//	└─────────────────────────────────────────────────────┘
+//
+// Tagged pointers pack a leaf/internal discriminator into the high bit
+// (ptrLeafBit): leaf targets are addressed by suffix position, internal
+// targets by BFS index; 0xFFFFFFFF (ptrNone) ends a sibling chain.
+//
 // Children of a node are enumerated as: the node's leaf children first,
 // chained through each leaf's tagged next-sibling pointer, followed by its
 // internal children, which are contiguous in the internal region and
 // delimited by a last-sibling flag.  This reproduces the paper's design
 // ("siblings are adjacent ... we must maintain an explicit pointer to
 // siblings" for leaves) without any extra per-node pointers.
+//
+// # Sharded layout (manifest.json)
+//
+// BuildSharded writes a DIRECTORY holding one or more single-file indexes
+// plus a manifest.json that describes how they compose into one logical
+// database (see Manifest; OpenSharded reverses it, giving every shard its
+// own buffer pool so shard parallelism also parallelises page I/O):
+//
+//	{
+//	  "version": 1,
+//	  "partition": "sequence" | "prefix",
+//	  "shards": 4,
+//	  "alphabet": "protein" | "dna",
+//	  "block_size": 2048,
+//	  "num_sequences": 117,          // whole logical database
+//	  "total_residues": 29076,
+//	  "shard_files": ["shard-0.oasis", ...],
+//	  // partition=sequence: one file per shard over a disjoint sequence
+//	  // subset, with shard-local -> global index maps
+//	  "global_index": [[0,3,9,...], ...],
+//	  // partition=prefix: exactly one shared file (every shard opens it
+//	  // through its own pool) plus the suffix-prefix -> shard owner tables
+//	  "prefix_assignment": {"shards":4, "width":20,
+//	                        "owner_l1":[...], "owner_l2":[...]}
+//	}
+//
+// Shard file names are bare names resolved relative to the manifest's
+// directory, so an index directory can be moved or mounted anywhere.
 package diskst
 
 import (

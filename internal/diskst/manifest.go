@@ -1,0 +1,403 @@
+package diskst
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bufferpool"
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+)
+
+// ManifestName is the file name of the sharded-index manifest within its
+// directory.
+const ManifestName = "manifest.json"
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// Partition-mode names used in the manifest (string-typed so the manifest
+// stays self-describing without importing the shard package).
+const (
+	PartitionSequence = "sequence"
+	PartitionPrefix   = "prefix"
+)
+
+// Manifest describes a sharded on-disk index: which files hold which shards,
+// how the logical database was partitioned, and the metadata a serving
+// process needs to reassemble one logical index from the parts (see the
+// package comment in format.go for the schema).
+type Manifest struct {
+	// Version is the manifest schema version (ManifestVersion).
+	Version int `json:"version"`
+	// Partition is "sequence" (independent per-shard indexes over disjoint
+	// sequence subsets) or "prefix" (one shared index file, disjoint
+	// top-level subtrees per shard).
+	Partition string `json:"partition"`
+	// Shards is the number of work partitions.
+	Shards int `json:"shards"`
+	// Alphabet is "protein" or "dna".
+	Alphabet string `json:"alphabet"`
+	// BlockSize is the block size every shard file was written with.
+	BlockSize int `json:"block_size"`
+	// NumSequences / TotalResidues describe the whole logical database.
+	NumSequences  int   `json:"num_sequences"`
+	TotalResidues int64 `json:"total_residues"`
+	// ShardFiles are the index file names, relative to the manifest's
+	// directory: one per shard in sequence mode, exactly one shared file in
+	// prefix mode (every shard opens it through its own buffer pool).
+	ShardFiles []string `json:"shard_files"`
+	// GlobalIndex (sequence mode) maps shard-local sequence indexes back to
+	// global ones: GlobalIndex[s][i] is the global index of shard s's i-th
+	// sequence.
+	GlobalIndex [][]int `json:"global_index,omitempty"`
+	// PrefixAssignment (prefix mode) is the suffix-prefix -> shard owner
+	// tables computed at build time.
+	PrefixAssignment *seq.PrefixAssignment `json:"prefix_assignment,omitempty"`
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("diskst: unsupported manifest version %d", m.Version)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("diskst: manifest has %d shards", m.Shards)
+	}
+	if m.Alphabet != "protein" && m.Alphabet != "dna" {
+		return fmt.Errorf("diskst: unknown manifest alphabet %q", m.Alphabet)
+	}
+	switch m.Partition {
+	case PartitionSequence:
+		if len(m.ShardFiles) != m.Shards {
+			return fmt.Errorf("diskst: manifest lists %d shard files for %d shards", len(m.ShardFiles), m.Shards)
+		}
+		if len(m.GlobalIndex) != m.Shards {
+			return fmt.Errorf("diskst: manifest has %d global maps for %d shards", len(m.GlobalIndex), m.Shards)
+		}
+	case PartitionPrefix:
+		if len(m.ShardFiles) != 1 {
+			return fmt.Errorf("diskst: prefix manifest lists %d shard files, want 1 shared file", len(m.ShardFiles))
+		}
+		if m.PrefixAssignment == nil {
+			return fmt.Errorf("diskst: prefix manifest has no prefix assignment")
+		}
+		if m.PrefixAssignment.Shards != m.Shards {
+			return fmt.Errorf("diskst: prefix assignment covers %d shards, manifest says %d",
+				m.PrefixAssignment.Shards, m.Shards)
+		}
+	default:
+		return fmt.Errorf("diskst: unknown manifest partition %q", m.Partition)
+	}
+	for _, f := range m.ShardFiles {
+		if f == "" || filepath.IsAbs(f) || f != filepath.Base(f) {
+			return fmt.Errorf("diskst: manifest shard file %q must be a bare file name", f)
+		}
+	}
+	return nil
+}
+
+// WriteManifest validates and writes the manifest into dir.
+func WriteManifest(dir string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// ReadManifest reads and validates the manifest in dir.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("diskst: parsing %s: %w", ManifestName, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ShardedBuildOptions controls sharded index construction.
+type ShardedBuildOptions struct {
+	WriteOptions
+	// Shards is the number of work partitions (>= 1).
+	Shards int
+	// PartitionByPrefix selects prefix-partitioned subtree sharding: ONE
+	// shared index file plus a suffix-prefix -> shard assignment, instead of
+	// one independently indexed file per sequence subset.
+	PartitionByPrefix bool
+}
+
+// BuildSharded partitions db, writes the per-shard index files and the
+// manifest into dir (created if needed), and returns the manifest along with
+// one BuildStats per written file.
+//
+// Sequence mode writes shard-0.oasis .. shard-(N-1).oasis, each an ordinary
+// single-shard index over its disjoint sequence subset, and records the
+// local -> global sequence maps.  Prefix mode builds ONE suffix tree over
+// the whole database, writes it as shard-0.oasis, and records the prefix
+// assignment; at open time every shard reads that shared file through its
+// own buffer pool.
+func BuildSharded(dir string, db *seq.Database, opts ShardedBuildOptions) (*Manifest, []BuildStats, error) {
+	if db == nil {
+		return nil, nil, fmt.Errorf("diskst: nil database")
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	alphabet := "protein"
+	if db.Alphabet().Kind() == seq.KindDNA {
+		alphabet = "dna"
+	}
+	m := &Manifest{
+		Version:       ManifestVersion,
+		Alphabet:      alphabet,
+		BlockSize:     blockSize,
+		NumSequences:  db.NumSequences(),
+		TotalResidues: db.TotalResidues(),
+	}
+	var stats []BuildStats
+	if opts.PartitionByPrefix {
+		prefixes, err := seq.PartitionByPrefix(db, opts.Shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := suffixtree.BuildUkkonen(db)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := Write(filepath.Join(dir, "shard-0.oasis"), tree, WriteOptions{BlockSize: blockSize})
+		if err != nil {
+			return nil, nil, err
+		}
+		stats = append(stats, *st)
+		assign := prefixes.Assignment()
+		m.Partition = PartitionPrefix
+		m.Shards = prefixes.NumShards()
+		m.ShardFiles = []string{"shard-0.oasis"}
+		m.PrefixAssignment = &assign
+	} else {
+		part, err := seq.PartitionDatabase(db, opts.Shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Partition = PartitionSequence
+		m.Shards = part.NumShards()
+		m.GlobalIndex = part.GlobalIndex
+		for s, shardDB := range part.Shards {
+			name := fmt.Sprintf("shard-%d.oasis", s)
+			st, err := Build(filepath.Join(dir, name), shardDB, BuildOptions{
+				WriteOptions: WriteOptions{BlockSize: blockSize},
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+			stats = append(stats, *st)
+			m.ShardFiles = append(m.ShardFiles, name)
+		}
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, nil, err
+	}
+	return m, stats, nil
+}
+
+// OpenOptions controls how a sharded index directory is opened.
+type OpenOptions struct {
+	// PoolBytesPerShard is each shard's buffer-pool capacity in bytes
+	// (default 64 MB).  Separate pools mean shard searches never thrash each
+	// other's cache and page I/O parallelises across shards.
+	PoolBytesPerShard int64
+}
+
+// DefaultPoolBytesPerShard is the per-shard buffer-pool capacity used when
+// OpenOptions does not set one.
+const DefaultPoolBytesPerShard = 64 << 20
+
+// Sharded is a sharded on-disk index opened for searching: one Index (and
+// one buffer pool) per shard, plus the partition metadata from the manifest.
+// In prefix mode all shard handles read the same file, each through its own
+// pool, and Frontier is one more handle reserved for the shared near-root
+// expansion.
+type Sharded struct {
+	// Dir is the index directory and Manifest its parsed manifest.
+	Dir      string
+	Manifest *Manifest
+	// Indexes[s] is shard s's read handle; Pools[s] its buffer pool.
+	Indexes []*Index
+	Pools   []*bufferpool.Pool
+	// Frontier / FrontierPool (prefix mode with more than one shard) serve
+	// the shared near-root expansion so shard pools only ever see their own
+	// subtree traffic; nil otherwise (a single shard never expands a
+	// shared frontier).
+	Frontier     *Index
+	FrontierPool *bufferpool.Pool
+	// Prefixes is the rebuilt prefix assignment (prefix mode only).
+	Prefixes *seq.PrefixPartition
+}
+
+// OpenSharded opens every shard of the index directory written by
+// BuildSharded, one buffer pool per shard.
+func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	poolBytes := opts.PoolBytesPerShard
+	if poolBytes <= 0 {
+		poolBytes = DefaultPoolBytesPerShard
+	}
+	wantAlphabet := seq.Protein
+	if m.Alphabet == "dna" {
+		wantAlphabet = seq.DNA
+	}
+	s := &Sharded{Dir: dir, Manifest: m}
+	openOne := func(name string) (*Index, *bufferpool.Pool, error) {
+		// The buffer pool's frames are allocated eagerly, so cap each pool
+		// at what its file could ever fill — a small index must not pin
+		// PoolBytesPerShard of frames per shard.
+		bytes := poolBytes
+		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() < bytes {
+			bytes = alignUp(fi.Size(), int64(m.BlockSize))
+		}
+		pool := bufferpool.New(bytes, m.BlockSize)
+		idx, err := Open(filepath.Join(dir, name), pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Cross-check the file against the manifest that named it: a shard
+		// built over a different alphabet or block size would silently
+		// return wrong results if it were searched.
+		if idx.Catalog().Alphabet() != wantAlphabet {
+			idx.Close()
+			return nil, nil, fmt.Errorf("file alphabet %s, manifest says %s",
+				idx.Catalog().Alphabet().Name(), m.Alphabet)
+		}
+		if idx.BlockSize() != m.BlockSize {
+			idx.Close()
+			return nil, nil, fmt.Errorf("file block size %d, manifest says %d", idx.BlockSize(), m.BlockSize)
+		}
+		return idx, pool, nil
+	}
+	fail := func(err error) (*Sharded, error) {
+		s.Close()
+		return nil, err
+	}
+	for i := 0; i < m.Shards; i++ {
+		// Prefix mode has one shared file; sequence mode one per shard.
+		name := m.ShardFiles[0]
+		if m.Partition == PartitionSequence {
+			name = m.ShardFiles[i]
+		}
+		idx, pool, err := openOne(name)
+		if err != nil {
+			return fail(fmt.Errorf("diskst: opening shard %d (%s): %w", i, name, err))
+		}
+		s.Indexes = append(s.Indexes, idx)
+		s.Pools = append(s.Pools, pool)
+	}
+	if m.Partition == PartitionPrefix {
+		s.Prefixes, err = seq.PrefixPartitionFromAssignment(*m.PrefixAssignment)
+		if err != nil {
+			return fail(err)
+		}
+		// A single-shard engine routes through the single-index fast path
+		// and never expands a shared frontier, so the extra view (and its
+		// pool frames) would be dead weight.
+		if m.Shards > 1 {
+			s.Frontier, s.FrontierPool, err = openOne(m.ShardFiles[0])
+			if err != nil {
+				return fail(fmt.Errorf("diskst: opening frontier view: %w", err))
+			}
+		}
+	}
+	// Cross-check the manifest's totals against the shard files it names.
+	var total int64
+	numSeqs := 0
+	for _, idx := range s.Indexes {
+		if m.Partition == PartitionPrefix {
+			total = idx.Catalog().TotalResidues()
+			numSeqs = idx.Catalog().NumSequences()
+			break
+		}
+		total += idx.Catalog().TotalResidues()
+		numSeqs += idx.Catalog().NumSequences()
+	}
+	if total != m.TotalResidues || numSeqs != m.NumSequences {
+		return fail(fmt.Errorf("diskst: shard files hold %d sequences / %d residues, manifest says %d / %d",
+			numSeqs, total, m.NumSequences, m.TotalResidues))
+	}
+	return s, nil
+}
+
+// Close releases every shard's file handle.
+func (s *Sharded) Close() error {
+	var first error
+	for _, idx := range s.Indexes {
+		if idx == nil {
+			continue
+		}
+		if err := idx.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.Frontier != nil {
+		if err := s.Frontier.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PoolStats is one shard's aggregated buffer-pool counters across its three
+// index regions (symbols, internal nodes, leaves).
+type PoolStats struct {
+	Shard    int     `json:"shard"`
+	Requests int64   `json:"requests"`
+	Hits     int64   `json:"hits"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// PoolStats snapshots each shard's buffer-pool hit statistics (plus, in
+// prefix mode, the frontier view's as Shard == -1).
+func (s *Sharded) PoolStats() []PoolStats {
+	out := make([]PoolStats, 0, len(s.Indexes)+1)
+	if s.Frontier != nil {
+		out = append(out, poolStatsFor(-1, s.Frontier))
+	}
+	for i, idx := range s.Indexes {
+		out = append(out, poolStatsFor(i, idx))
+	}
+	return out
+}
+
+func poolStatsFor(shard int, idx *Index) PoolStats {
+	pool := idx.Pool()
+	st := PoolStats{Shard: shard}
+	for _, f := range []bufferpool.FileID{idx.SymbolsFile(), idx.InternalFile(), idx.LeavesFile()} {
+		fs := pool.Stats(f)
+		st.Requests += fs.Requests
+		st.Hits += fs.Hits
+	}
+	if st.Requests > 0 {
+		st.HitRatio = float64(st.Hits) / float64(st.Requests)
+	}
+	return st
+}

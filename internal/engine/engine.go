@@ -27,12 +27,24 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
+	"repro/internal/diskst"
 	"repro/internal/seq"
 	"repro/internal/shard"
 )
 
 // Options configures a warm engine.
 type Options struct {
+	// IndexDir, when set, serves prebuilt per-shard disk indexes from this
+	// directory (written by diskst.BuildSharded / oasis-build -shards)
+	// instead of building in-memory indexes from a database: each shard
+	// searches its own diskst.Index through its own buffer pool, so one
+	// warm engine can serve databases bigger than RAM.  The shard count and
+	// partition mode come from the directory's manifest; Shards and
+	// PartitionByPrefix must be left zero/false.
+	IndexDir string
+	// PoolBytes is the per-shard buffer-pool capacity in bytes for IndexDir
+	// engines (default diskst.DefaultPoolBytesPerShard).
+	PoolBytes int64
 	// Shards is the number of database partitions (default 1; capped at the
 	// number of sequences) — see shard.Options.
 	Shards int
@@ -109,18 +121,38 @@ type Engine struct {
 	active sync.WaitGroup
 }
 
-// New partitions db, builds one suffix-tree index per shard and returns a
-// warm engine ready to serve queries.
+// New builds a warm engine ready to serve queries: with Options.IndexDir it
+// opens the directory's prebuilt per-shard disk indexes (db must be nil);
+// otherwise it partitions db and builds one in-memory suffix-tree index per
+// shard.
 func New(db *seq.Database, opts Options) (*Engine, error) {
-	mode := shard.PartitionBySequence
-	if opts.PartitionByPrefix {
-		mode = shard.PartitionByPrefix
+	var sharded *shard.Engine
+	var err error
+	if opts.IndexDir != "" {
+		if db != nil {
+			return nil, fmt.Errorf("engine: IndexDir and a database are mutually exclusive")
+		}
+		if opts.Shards != 0 || opts.PartitionByPrefix {
+			return nil, fmt.Errorf("engine: Shards/PartitionByPrefix come from the IndexDir manifest; do not set them")
+		}
+		sharded, err = shard.OpenDiskEngine(opts.IndexDir, shard.DiskOptions{
+			Workers:           opts.ShardWorkers,
+			PoolBytesPerShard: opts.PoolBytes,
+		})
+	} else {
+		if db == nil {
+			return nil, fmt.Errorf("engine: either a database or IndexDir is required")
+		}
+		mode := shard.PartitionBySequence
+		if opts.PartitionByPrefix {
+			mode = shard.PartitionByPrefix
+		}
+		sharded, err = shard.NewEngine(db, shard.Options{
+			Shards:    opts.Shards,
+			Workers:   opts.ShardWorkers,
+			Partition: mode,
+		})
 	}
-	sharded, err := shard.NewEngine(db, shard.Options{
-		Shards:    opts.Shards,
-		Workers:   opts.ShardWorkers,
-		Partition: mode,
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -140,11 +172,30 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 	}, nil
 }
 
-// DB returns the database the engine was built over.
+// DB returns the database the engine was built over, or nil for disk-backed
+// engines (Options.IndexDir) — use Catalog for metadata that must work in
+// both modes.
 func (e *Engine) DB() *seq.Database { return e.db }
+
+// Catalog returns the global sequence catalog the engine serves: sequence
+// identifiers, lengths, residues for alignment recovery.  It is valid in
+// both in-memory and disk-backed modes.
+func (e *Engine) Catalog() core.Catalog { return e.sharded.Catalog() }
+
+// Alphabet returns the residue alphabet of the served database.
+func (e *Engine) Alphabet() *seq.Alphabet { return e.sharded.Catalog().Alphabet() }
+
+// NumSequences returns the number of sequences the engine serves.
+func (e *Engine) NumSequences() int { return e.sharded.Catalog().NumSequences() }
+
+// TotalResidues returns the total residue count the engine serves.
+func (e *Engine) TotalResidues() int64 { return e.sharded.Catalog().TotalResidues() }
 
 // NumShards returns the number of partitions actually built.
 func (e *Engine) NumShards() int { return e.sharded.NumShards() }
+
+// Partition returns the engine's work-partitioning mode.
+func (e *Engine) Partition() shard.PartitionMode { return e.sharded.Partition() }
 
 // ShardWorkers returns the per-query shard concurrency bound.
 func (e *Engine) ShardWorkers() int { return e.sharded.Workers() }
@@ -170,11 +221,19 @@ type Metrics struct {
 	Scratch bufferpool.FreeListStats `json:"scratch"`
 	// Shards holds each shard's queued and active search counts.
 	Shards []shard.QueueDepth `json:"shards"`
+	// Pools holds per-shard buffer-pool hit statistics for disk-backed
+	// engines (nil for in-memory engines; shard -1 is the prefix-mode
+	// frontier view).
+	Pools []diskst.PoolStats `json:"pools,omitempty"`
 }
 
 // Metrics returns a point-in-time snapshot of the engine's resource usage.
 func (e *Engine) Metrics() Metrics {
-	return Metrics{Scratch: e.sharded.ScratchStats(), Shards: e.sharded.QueueDepths()}
+	m := Metrics{Scratch: e.sharded.ScratchStats(), Shards: e.sharded.QueueDepths()}
+	if disk := e.sharded.Disk(); disk != nil {
+		m.Pools = disk.PoolStats()
+	}
+	return m
 }
 
 // begin registers one unit of in-flight work, failing when the engine is
@@ -192,13 +251,14 @@ func (e *Engine) begin() bool {
 
 // Close marks the engine closed; subsequent submissions fail.  It does not
 // interrupt in-flight queries (cancel their contexts for that) but waits for
-// them to drain.
+// them to drain, then releases resources the sharded engine owns (disk index
+// files for IndexDir engines).
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
 	e.active.Wait()
-	return nil
+	return e.sharded.Close()
 }
 
 // ErrClosed is returned for submissions after Close.

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskst"
+	"repro/internal/shard"
+)
+
+// DiskRow is one point of the disk-vs-memory sharded serving experiment: the
+// whole query workload run through a sharded engine at one shard count, with
+// the shards either in-memory suffix trees or per-shard disk indexes read
+// through per-shard buffer pools (the paper's Section 3.4 storage story
+// meeting the repo's sharded engine).
+type DiskRow struct {
+	// Mode is "memory" (in-memory per-shard indexes) or "disk" (per-shard
+	// diskst indexes, one buffer pool each).
+	Mode    string
+	Shards  int
+	Workers int
+	// Setup is the one-off cost of making the engine servable: index
+	// construction for memory mode, writing the sharded index files for
+	// disk mode.
+	Setup time.Duration
+	// ColdOpen is the cost of bringing a prepared engine to its first
+	// result: for disk mode, opening the manifest and shard files plus the
+	// first query through entirely cold buffer pools; for memory mode, the
+	// first query on the freshly built engine.
+	ColdOpen time.Duration
+	// QueryTime is the mean warm per-query time over the full workload.
+	QueryTime time.Duration
+	// QueriesPerSec is the warm serving throughput.
+	QueriesPerSec float64
+	// Hits is the total number of sequences reported (must match across
+	// modes and shard counts).
+	Hits int64
+	// HitRatio is the aggregate buffer-pool hit ratio across shards after
+	// the workload (disk mode only).
+	HitRatio float64
+}
+
+// Disk measures serving the workload from per-shard disk indexes against
+// in-memory shards at matched shard counts.  Every row must report the same
+// hit total; a mismatch is an error because the storage layer must never
+// change results.  poolBytes is the per-shard buffer-pool capacity
+// (<= 0 selects the diskst default).
+func Disk(lab *Lab, shardCounts []int, workers int, poolBytes int64) ([]DiskRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	var rows []DiskRow
+	runWorkload := func(eng *shard.Engine) (time.Duration, int64, error) {
+		var hits int64
+		start := time.Now()
+		for _, q := range lab.Queries {
+			minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
+			err := eng.Search(q.Residues, core.Options{Scheme: lab.Scheme, MinScore: minScore},
+				func(core.Hit) bool { hits++; return true })
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return time.Since(start), hits, nil
+	}
+	firstQuery := func(eng *shard.Engine) error {
+		q := lab.Queries[0]
+		minScore := lab.minScoreFor(lab.Config.EValue, len(q.Residues))
+		return eng.Search(q.Residues, core.Options{Scheme: lab.Scheme, MinScore: minScore},
+			func(core.Hit) bool { return true })
+	}
+	check := func(row DiskRow) error {
+		if len(rows) > 0 && row.Hits != rows[0].Hits {
+			return fmt.Errorf("experiments: %s mode at %d shards reported %d hits, baseline %d",
+				row.Mode, row.Shards, row.Hits, rows[0].Hits)
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	for _, n := range shardCounts {
+		// Memory: the engine the batch server uses today.
+		setupStart := time.Now()
+		mem, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		setup := time.Since(setupStart)
+		coldStart := time.Now()
+		if err := firstQuery(mem); err != nil {
+			return nil, err
+		}
+		cold := time.Since(coldStart)
+		elapsed, hits, err := runWorkload(mem)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(DiskRow{
+			Mode: "memory", Shards: mem.NumShards(), Workers: mem.Workers(),
+			Setup: setup, ColdOpen: cold,
+			QueryTime:     elapsed / time.Duration(len(lab.Queries)),
+			QueriesPerSec: float64(len(lab.Queries)) / elapsed.Seconds(),
+			Hits:          hits,
+		}); err != nil {
+			return nil, err
+		}
+
+		// Disk: the same shard count served from per-shard index files, one
+		// buffer pool per shard.
+		dir := filepath.Join(filepath.Dir(lab.IndexPath), fmt.Sprintf("sharded-%d", n))
+		setupStart = time.Now()
+		if _, _, err := diskst.BuildSharded(dir, lab.DB, diskst.ShardedBuildOptions{
+			WriteOptions: diskst.WriteOptions{BlockSize: lab.Config.BlockSize},
+			Shards:       n,
+		}); err != nil {
+			return nil, err
+		}
+		setup = time.Since(setupStart)
+		coldStart = time.Now()
+		disk, err := shard.OpenDiskEngine(dir, shard.DiskOptions{Workers: workers, PoolBytesPerShard: poolBytes})
+		if err != nil {
+			return nil, err
+		}
+		if err := firstQuery(disk); err != nil {
+			disk.Close()
+			return nil, err
+		}
+		cold = time.Since(coldStart)
+		elapsed, hits, err = runWorkload(disk)
+		if err != nil {
+			disk.Close()
+			return nil, err
+		}
+		var requests, poolHits int64
+		for _, ps := range disk.Disk().PoolStats() {
+			requests += ps.Requests
+			poolHits += ps.Hits
+		}
+		row := DiskRow{
+			Mode: "disk", Shards: disk.NumShards(), Workers: disk.Workers(),
+			Setup: setup, ColdOpen: cold,
+			QueryTime:     elapsed / time.Duration(len(lab.Queries)),
+			QueriesPerSec: float64(len(lab.Queries)) / elapsed.Seconds(),
+			Hits:          hits,
+		}
+		if requests > 0 {
+			row.HitRatio = float64(poolHits) / float64(requests)
+		}
+		if err := disk.Close(); err != nil {
+			return nil, err
+		}
+		if err := check(row); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderDisk writes the disk-vs-memory experiment as a text table.
+func RenderDisk(w io.Writer, rows []DiskRow) {
+	fmt.Fprintln(w, "Disk-backed shards — per-shard buffer pools vs in-memory shards (same hits)")
+	fmt.Fprintf(w, "%-8s %-8s %-8s %-12s %-12s %-14s %-12s %-10s %-10s\n",
+		"mode", "shards", "workers", "setup", "cold-open", "time/query", "queries/s", "hits", "pool-hit%")
+	for _, r := range rows {
+		hitRatio := "-"
+		if r.Mode == "disk" {
+			hitRatio = fmt.Sprintf("%.1f", r.HitRatio*100)
+		}
+		fmt.Fprintf(w, "%-8s %-8d %-8d %-12s %-12s %-14s %-12.2f %-10d %-10s\n",
+			r.Mode, r.Shards, r.Workers, fmtDur(r.Setup), fmtDur(r.ColdOpen),
+			fmtDur(r.QueryTime), r.QueriesPerSec, r.Hits, hitRatio)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// unionCatalog presents the per-shard catalogs of a sequence-partitioned
+// IndexSet as one global catalog: sequence indexes are global, lookups are
+// delegated to the owning shard, and the concatenated-position view is laid
+// out in global sequence order (each sequence followed by its terminator),
+// matching what a single index over the whole database would expose.
+type unionCatalog struct {
+	alphabet *seq.Alphabet
+	cats     []core.Catalog
+	owner    []int   // global sequence index -> shard
+	local    []int   // global sequence index -> shard-local index
+	starts   []int64 // global concatenated start offset per sequence
+	total    int64   // residues across all shards
+	concat   int64   // concatenated length including terminators
+}
+
+// newUnionCatalog stitches the shard catalogs together under the global maps,
+// verifying that the maps cover every global index exactly once.
+func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, error) {
+	n := 0
+	for _, g := range globals {
+		n += len(g)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("shard: index set covers no sequences")
+	}
+	u := &unionCatalog{
+		cats:  make([]core.Catalog, len(indexes)),
+		owner: make([]int, n),
+		local: make([]int, n),
+	}
+	seen := make([]bool, n)
+	for s, g := range globals {
+		u.cats[s] = indexes[s].Catalog()
+		if u.cats[s].NumSequences() != len(g) {
+			return nil, fmt.Errorf("shard %d: catalog has %d sequences, global map %d",
+				s, u.cats[s].NumSequences(), len(g))
+		}
+		for i, gi := range g {
+			if gi < 0 || gi >= n {
+				return nil, fmt.Errorf("shard %d: global index %d out of range [0,%d)", s, gi, n)
+			}
+			if seen[gi] {
+				return nil, fmt.Errorf("shard: global sequence %d assigned to more than one shard", gi)
+			}
+			seen[gi] = true
+			u.owner[gi] = s
+			u.local[gi] = i
+		}
+	}
+	u.alphabet = u.cats[0].Alphabet()
+	u.starts = make([]int64, n)
+	for gi := 0; gi < n; gi++ {
+		u.starts[gi] = u.concat
+		l := int64(u.cats[u.owner[gi]].SequenceLength(u.local[gi]))
+		u.concat += l + 1 // terminator
+		u.total += l
+	}
+	return u, nil
+}
+
+func (u *unionCatalog) Alphabet() *seq.Alphabet { return u.alphabet }
+func (u *unionCatalog) NumSequences() int       { return len(u.owner) }
+func (u *unionCatalog) SequenceID(i int) string {
+	return u.cats[u.owner[i]].SequenceID(u.local[i])
+}
+func (u *unionCatalog) SequenceLength(i int) int {
+	return u.cats[u.owner[i]].SequenceLength(u.local[i])
+}
+func (u *unionCatalog) TotalResidues() int64 { return u.total }
+
+func (u *unionCatalog) Locate(pos int64) (int, int64, error) {
+	if pos < 0 || pos >= u.concat {
+		return 0, 0, fmt.Errorf("shard: position %d out of range", pos)
+	}
+	i := sort.Search(len(u.starts), func(i int) bool { return u.starts[i] > pos }) - 1
+	return i, pos - u.starts[i], nil
+}
+
+func (u *unionCatalog) Residues(i int) ([]byte, error) {
+	if i < 0 || i >= len(u.owner) {
+		return nil, fmt.Errorf("shard: sequence index %d out of range", i)
+	}
+	return u.cats[u.owner[i]].Residues(u.local[i])
+}
+
+var _ core.Catalog = (*unionCatalog)(nil)

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/diskst"
+)
+
+// DiskOptions configures OpenDiskEngine.
+type DiskOptions struct {
+	// Workers bounds concurrent shard searches per query (default: one per
+	// shard), as in Options.
+	Workers int
+	// PoolBytesPerShard is each shard's buffer-pool capacity in bytes
+	// (default diskst.DefaultPoolBytesPerShard).
+	PoolBytesPerShard int64
+}
+
+// OpenDiskEngine opens a sharded on-disk index directory (written by
+// diskst.BuildSharded / oasis-build -shards) and assembles a sharded engine
+// over it: every shard searches its own diskst.Index through its own buffer
+// pool, so a query's shard fan-out also fans out page I/O, and the engine
+// never needs the source database in memory.  The returned engine owns the
+// index files; call Close when done serving.
+func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
+	disk, err := diskst.OpenSharded(dir, diskst.OpenOptions{PoolBytesPerShard: opts.PoolBytesPerShard})
+	if err != nil {
+		return nil, err
+	}
+	set := IndexSet{Closers: []io.Closer{disk}}
+	switch disk.Manifest.Partition {
+	case diskst.PartitionPrefix:
+		set.Partition = PartitionByPrefix
+		set.Views = make([]core.Index, len(disk.Indexes))
+		for i, idx := range disk.Indexes {
+			set.Views[i] = idx
+		}
+		// Frontier is nil for single-shard directories (no shared expansion
+		// ever runs); assigning a typed nil into the interface would defeat
+		// NewEngineFromSet's Views[0] fallback.
+		if disk.Frontier != nil {
+			set.Frontier = disk.Frontier
+		}
+		set.Prefixes = disk.Prefixes
+	default:
+		set.Partition = PartitionBySequence
+		set.Indexes = make([]core.Index, len(disk.Indexes))
+		for i, idx := range disk.Indexes {
+			set.Indexes[i] = idx
+		}
+		set.Globals = disk.Manifest.GlobalIndex
+	}
+	e, err := NewEngineFromSet(set, Options{Workers: opts.Workers})
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	e.disk = disk
+	return e, nil
+}
+
+// Disk returns the engine's on-disk shard set (buffer-pool statistics,
+// manifest), or nil for in-memory engines.
+func (e *Engine) Disk() *diskst.Sharded { return e.disk }

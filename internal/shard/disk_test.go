@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diskst"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// TestDiskEngineEquivalenceProperty is the randomized disk-vs-memory
+// equivalence property: across random databases, queries, shard counts and
+// both partition modes, a sharded engine serving per-shard DISK indexes
+// through per-shard buffer pools must report the same sequences with the
+// same scores, in globally non-increasing score order and with the same
+// score at every rank, as the single in-memory index search.
+func TestDiskEngineEquivalenceProperty(t *testing.T) {
+	cases := map[string]struct {
+		a      *seq.Alphabet
+		scheme score.Scheme
+	}{
+		"dna":     {seq.DNA, score.MustScheme(score.UnitDNA(), -1)},
+		"protein": {seq.Protein, score.MustScheme(score.ByName("PAM30"), -10)},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4021))
+			letters := cfg.a.Letters()
+			for trial := 0; trial < 12; trial++ {
+				db := randomShardDB(t, rng, cfg.a, 2+rng.Intn(24), 80)
+				qb := make([]byte, 3+rng.Intn(14))
+				for i := range qb {
+					qb[i] = letters[rng.Intn(len(letters))]
+				}
+				query := cfg.a.MustEncode(string(qb))
+				opts := core.Options{Scheme: cfg.scheme, MinScore: 1 + rng.Intn(10)}
+
+				single, err := core.BuildMemoryIndex(db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseline, err := core.SearchAll(single, query, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, prefix := range []bool{false, true} {
+					shards := 1 + rng.Intn(5)
+					dir := filepath.Join(t.TempDir(), "idx")
+					manifest, _, err := diskst.BuildSharded(dir, db, diskst.ShardedBuildOptions{
+						WriteOptions:      diskst.WriteOptions{BlockSize: 2048},
+						Shards:            shards,
+						PartitionByPrefix: prefix,
+					})
+					if err != nil {
+						t.Fatalf("trial %d prefix=%v: BuildSharded: %v", trial, prefix, err)
+					}
+					eng, err := OpenDiskEngine(dir, DiskOptions{
+						// Tiny pools force real page traffic and eviction.
+						PoolBytesPerShard: 16 * 2048,
+					})
+					if err != nil {
+						t.Fatalf("trial %d prefix=%v: OpenDiskEngine: %v", trial, prefix, err)
+					}
+					if eng.NumShards() != manifest.Shards {
+						t.Fatalf("engine has %d shards, manifest %d", eng.NumShards(), manifest.Shards)
+					}
+					got, err := eng.SearchAll(query, opts)
+					if err != nil {
+						t.Fatalf("trial %d prefix=%v: search: %v", trial, prefix, err)
+					}
+					checkOrderAndRanks(t, got, "disk")
+					if len(got) != len(baseline) {
+						t.Fatalf("trial %d prefix=%v shards=%d: disk reported %d hits, memory single %d",
+							trial, prefix, shards, len(got), len(baseline))
+					}
+					want := multiset(baseline)
+					for i, h := range got {
+						if want[keyOf(h)] == 0 {
+							t.Fatalf("trial %d prefix=%v: hit %+v not in single-index results", trial, prefix, h)
+						}
+						want[keyOf(h)]--
+						if h.Score != baseline[i].Score {
+							t.Fatalf("trial %d prefix=%v: rank %d score %d, single-index %d",
+								trial, prefix, i+1, h.Score, baseline[i].Score)
+						}
+					}
+					// The global catalog must describe the source database so
+					// alignment recovery and metadata lookups agree with it.
+					cat := eng.Catalog()
+					if cat.NumSequences() != db.NumSequences() || cat.TotalResidues() != db.TotalResidues() {
+						t.Fatalf("catalog reports %d seqs / %d residues, db has %d / %d",
+							cat.NumSequences(), cat.TotalResidues(), db.NumSequences(), db.TotalResidues())
+					}
+					for i := 0; i < db.NumSequences(); i++ {
+						if cat.SequenceID(i) != db.Sequence(i).ID {
+							t.Fatalf("catalog sequence %d is %q, db has %q", i, cat.SequenceID(i), db.Sequence(i).ID)
+						}
+						res, err := cat.Residues(i)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if string(res) != string(db.Sequence(i).Residues) {
+							t.Fatalf("catalog residues for sequence %d differ from the database", i)
+						}
+					}
+					if len(got) > 0 {
+						stats := eng.Disk().PoolStats()
+						var requests int64
+						for _, ps := range stats {
+							requests += ps.Requests
+						}
+						if requests == 0 {
+							t.Fatalf("trial %d prefix=%v: search reported hits without touching any buffer pool", trial, prefix)
+						}
+					}
+					if err := eng.Close(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiskEngineUnionCatalogLocate pins the union catalog's concatenated
+// coordinate view: positions locate to the same (sequence, offset) pairs as
+// the source database.
+func TestDiskEngineUnionCatalogLocate(t *testing.T) {
+	db, err := seq.DatabaseFromStrings(seq.DNA, "ACGTAC", "GG", "TTTACG", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := diskst.BuildSharded(dir, db, diskst.ShardedBuildOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenDiskEngine(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cat := eng.Catalog()
+	for pos := int64(0); pos < db.ConcatLen(); pos++ {
+		wantSeq, wantOff, err := db.Locate(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSeq, gotOff, err := cat.Locate(pos)
+		if err != nil {
+			t.Fatalf("Locate(%d): %v", pos, err)
+		}
+		if gotSeq != wantSeq || gotOff != wantOff {
+			t.Fatalf("Locate(%d) = (%d,%d), database has (%d,%d)", pos, gotSeq, gotOff, wantSeq, wantOff)
+		}
+	}
+	if _, _, err := cat.Locate(db.ConcatLen()); err == nil {
+		t.Fatal("Locate past the end did not fail")
+	}
+}

@@ -33,11 +33,13 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
+	"repro/internal/diskst"
 	"repro/internal/score"
 	"repro/internal/seq"
 )
@@ -76,6 +78,12 @@ var _ core.SubtreeAssigner = (*seq.PrefixPartition)(nil)
 // every search draws its scratch buffers from a shared bounded free list, so
 // a long-running engine (internal/engine) can multiplex many queries over
 // one warm Engine without per-query allocation.
+//
+// The engine does not care where its per-shard indexes live: NewEngine
+// builds in-memory suffix trees from a database, while NewEngineFromSet
+// accepts any prebuilt core.Index per shard — in particular disk-resident
+// indexes (internal/diskst) each read through its own buffer pool, so shard
+// parallelism also parallelises I/O.
 type Engine struct {
 	mode    PartitionMode
 	nShards int
@@ -83,15 +91,24 @@ type Engine struct {
 	total   int64 // global residue count, for E-values
 	numSeqs int
 	queryAl *seq.Alphabet
+	cat     core.Catalog
 	// Sequence mode: one index per shard, with shard-local -> global
-	// sequence index maps.  Prefix mode with one shard also uses this pair
-	// (the shared index with an identity map) so the single-shard fast path
-	// is common.
-	indexes []*core.MemoryIndex
+	// sequence index maps.  Single-shard engines of either mode also use
+	// this pair (the shared index with an identity map) so the single-shard
+	// fast path is common.
+	indexes []core.Index
 	globals [][]int
-	// Prefix mode: the shared index and the suffix-prefix assignment.
-	shared   *core.MemoryIndex
+	// Prefix mode: per-shard read handles on the ONE shared logical index
+	// (for disk indexes, one handle per shard so each reads through its own
+	// buffer pool), the handle used for the shared near-root expansion, and
+	// the suffix-prefix assignment.
+	views    []core.Index
+	frontier core.Index
 	prefixes *seq.PrefixPartition
+	// closers are resources the engine owns (disk index files); see Close.
+	// disk is set by OpenDiskEngine for buffer-pool statistics.
+	closers []io.Closer
+	disk    *diskst.Sharded
 	// scratch recycles per-shard searcher state across queries; dedups
 	// recycles the merger's emitted-sequence sets (prefix mode only).
 	scratch *bufferpool.FreeList[*core.Scratch]
@@ -102,58 +119,136 @@ type Engine struct {
 	active []atomic.Int64
 }
 
+// IndexSet describes prebuilt per-shard indexes for NewEngineFromSet.  It is
+// how disk-resident shards (internal/diskst, opened one buffer pool per
+// shard) and any other core.Index implementation plug into the sharded
+// search without the engine building anything itself.
+type IndexSet struct {
+	// Partition declares how the indexes divide the logical database.
+	Partition PartitionMode
+	// Sequence mode: Indexes[s] covers a disjoint sequence subset and
+	// Globals[s][i] is the global index of its i-th sequence.
+	Indexes []core.Index
+	Globals [][]int
+	// Prefix mode: Views[s] is shard s's read handle on the one shared
+	// index (entries may all be the same value, or independent handles so
+	// each shard reads through its own buffer pool); Frontier is the handle
+	// used for the shared near-root expansion (default Views[0]); Prefixes
+	// assigns top-level subtrees to shards.
+	Views    []core.Index
+	Frontier core.Index
+	Prefixes *seq.PrefixPartition
+	// Catalog is the global sequence catalog.  Optional: it defaults to the
+	// frontier's catalog in prefix mode and to the union of the shard
+	// catalogs under Globals in sequence mode.
+	Catalog core.Catalog
+	// Closers are resources the engine takes ownership of (disk index
+	// files, pools); Engine.Close releases them.
+	Closers []io.Closer
+}
+
 // NewEngine partitions the work for db into opts.Shards shards and builds
-// the index(es): one per shard in PartitionBySequence mode, a single shared
-// index in PartitionByPrefix mode.
+// the in-memory index(es): one per shard in PartitionBySequence mode, a
+// single shared index in PartitionByPrefix mode.
 func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 	if opts.Shards < 1 {
 		opts.Shards = 1
 	}
-	e := &Engine{
-		mode:    opts.Partition,
-		total:   db.TotalResidues(),
-		numSeqs: db.NumSequences(),
-		queryAl: db.Alphabet(),
-	}
+	set := IndexSet{Partition: opts.Partition, Catalog: core.NewDatabaseCatalog(db)}
 	switch opts.Partition {
 	case PartitionBySequence:
 		part, err := seq.PartitionDatabase(db, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
-		e.indexes = make([]*core.MemoryIndex, part.NumShards())
-		e.globals = part.GlobalIndex
+		set.Indexes = make([]core.Index, part.NumShards())
+		set.Globals = part.GlobalIndex
 		for s, shardDB := range part.Shards {
 			idx, err := core.BuildMemoryIndex(shardDB)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", s, err)
 			}
-			e.indexes[s] = idx
+			set.Indexes[s] = idx
 		}
-		e.nShards = len(e.indexes)
 	case PartitionByPrefix:
 		idx, err := core.BuildMemoryIndex(db)
 		if err != nil {
 			return nil, err
 		}
-		e.shared = idx
-		e.prefixes, err = seq.PartitionByPrefix(db, opts.Shards)
+		set.Prefixes, err = seq.PartitionByPrefix(db, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
-		e.nShards = e.prefixes.NumShards()
-		if e.nShards == 1 {
-			// Route through the common single-shard fast path.
-			identity := make([]int, db.NumSequences())
-			for i := range identity {
-				identity[i] = i
-			}
-			e.indexes = []*core.MemoryIndex{idx}
-			e.globals = [][]int{identity}
+		set.Views = make([]core.Index, set.Prefixes.NumShards())
+		for s := range set.Views {
+			set.Views[s] = idx
 		}
+		set.Frontier = idx
 	default:
 		return nil, fmt.Errorf("shard: unknown partition mode %d", opts.Partition)
 	}
+	return NewEngineFromSet(set, opts)
+}
+
+// NewEngineFromSet assembles a sharded engine over prebuilt per-shard
+// indexes.  opts.Shards and opts.Partition are ignored (the set determines
+// both); opts.Workers bounds shard-search concurrency as in NewEngine.
+func NewEngineFromSet(set IndexSet, opts Options) (*Engine, error) {
+	e := &Engine{mode: set.Partition, cat: set.Catalog, closers: set.Closers}
+	switch set.Partition {
+	case PartitionBySequence:
+		if len(set.Indexes) == 0 {
+			return nil, fmt.Errorf("shard: sequence-mode index set has no indexes")
+		}
+		if len(set.Globals) != len(set.Indexes) {
+			return nil, fmt.Errorf("shard: %d global maps for %d indexes", len(set.Globals), len(set.Indexes))
+		}
+		e.indexes = set.Indexes
+		e.globals = set.Globals
+		e.nShards = len(e.indexes)
+		if e.cat == nil {
+			cat, err := newUnionCatalog(set.Indexes, set.Globals)
+			if err != nil {
+				return nil, err
+			}
+			e.cat = cat
+		}
+	case PartitionByPrefix:
+		if len(set.Views) == 0 {
+			return nil, fmt.Errorf("shard: prefix-mode index set has no views")
+		}
+		if set.Prefixes == nil {
+			return nil, fmt.Errorf("shard: prefix-mode index set has no prefix assignment")
+		}
+		if set.Prefixes.NumShards() != len(set.Views) {
+			return nil, fmt.Errorf("shard: prefix assignment has %d shards, index set %d",
+				set.Prefixes.NumShards(), len(set.Views))
+		}
+		e.views = set.Views
+		e.frontier = set.Frontier
+		if e.frontier == nil {
+			e.frontier = set.Views[0]
+		}
+		e.prefixes = set.Prefixes
+		e.nShards = len(e.views)
+		if e.cat == nil {
+			e.cat = e.frontier.Catalog()
+		}
+		if e.nShards == 1 {
+			// Route through the common single-shard fast path.
+			identity := make([]int, e.cat.NumSequences())
+			for i := range identity {
+				identity[i] = i
+			}
+			e.indexes = []core.Index{e.views[0]}
+			e.globals = [][]int{identity}
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown partition mode %d", set.Partition)
+	}
+	e.numSeqs = e.cat.NumSequences()
+	e.total = e.cat.TotalResidues()
+	e.queryAl = e.cat.Alphabet()
 	e.workers = opts.Workers
 	if e.workers < 1 || e.workers > e.nShards {
 		e.workers = e.nShards
@@ -166,6 +261,24 @@ func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 	e.queued = make([]atomic.Int64, e.nShards)
 	e.active = make([]atomic.Int64, e.nShards)
 	return e, nil
+}
+
+// Catalog returns the engine's global sequence catalog (hit sequence indexes
+// are global, so alignment recovery and metadata lookups go through it).
+func (e *Engine) Catalog() core.Catalog { return e.cat }
+
+// Close releases resources the engine owns (disk index files handed over via
+// IndexSet.Closers).  In-memory engines own nothing and Close is a no-op.
+// Close does not wait for in-flight searches; callers must drain first.
+func (e *Engine) Close() error {
+	var first error
+	for _, c := range e.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closers = nil
+	return first
 }
 
 // ScratchStats reports how often shard searches reused pooled scratch
@@ -200,10 +313,10 @@ func (e *Engine) NumShards() int { return e.nShards }
 func (e *Engine) Workers() int { return e.workers }
 
 // Shard exposes one shard's index (tests and diagnostics); in prefix mode
-// every shard searches the same shared index.
+// this is the shard's read handle on the shared index.
 func (e *Engine) Shard(i int) core.Index {
-	if e.mode == PartitionByPrefix {
-		return e.shared
+	if e.mode == PartitionByPrefix && len(e.views) > 0 {
+		return e.views[i]
 	}
 	return e.indexes[i]
 }
@@ -309,7 +422,7 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 		pooled = e.scratch.Get()
 		frOpts.Scratch = pooled
 	}
-	fr, err := core.ExpandFrontier(e.shared, query, frOpts, e.prefixes)
+	fr, err := core.ExpandFrontier(e.frontier, query, frOpts, e.prefixes)
 	if pooled != nil {
 		e.scratch.Put(pooled)
 	}
@@ -327,7 +440,7 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 			// deduplicate away, starving the stream of hits another shard
 			// never got to report.
 			shardOpts.MaxResults = 0
-			return core.SearchSeedsStream(e.shared, query, shardOpts, fr.Seeds[s], hit, frontier)
+			return core.SearchSeedsStream(e.views[s], query, shardOpts, fr.Seeds[s], hit, frontier)
 		})
 }
 

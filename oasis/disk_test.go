@@ -1,0 +1,194 @@
+package oasis_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/oasis"
+)
+
+// buildDiskShardedIndex generates a workload database, writes it as a
+// sharded disk index, and returns the database plus the index directory.
+func buildDiskShardedIndex(t *testing.T, seed int64, prefix bool, shards int) (*oasis.Database, string) {
+	t.Helper()
+	cfg := workload.DefaultProteinConfig(30_000)
+	cfg.Seed = seed
+	db, _, err := workload.ProteinDatabase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	manifest, _, err := oasis.BuildShardedDiskIndex(dir, db, oasis.ShardedIndexBuildOptions{
+		Shards:            shards,
+		PartitionByPrefix: prefix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Shards != shards {
+		t.Fatalf("built %d shards, want %d", manifest.Shards, shards)
+	}
+	return db, dir
+}
+
+// TestDiskShardedIndexPublicAPI mirrors TestPrefixShardedIndexPublicAPI for
+// the disk-backed engine: a sharded index built by BuildShardedDiskIndex and
+// reopened via ShardOptions.IndexDir must report exactly the hits of the
+// in-memory single-index search — same sequences, same scores, same score at
+// every rank — in both partition modes.
+func TestDiskShardedIndexPublicAPI(t *testing.T) {
+	for _, prefix := range []bool{false, true} {
+		name := "sequence"
+		if prefix {
+			name = "prefix"
+		}
+		t.Run(name, func(t *testing.T) {
+			db, dir := buildDiskShardedIndex(t, 91, prefix, 4)
+			queries, err := workload.MotifQueries(db, nil, workload.DefaultQueryConfig(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheme, err := oasis.NewScheme(oasis.MatrixByName("PAM30"), -10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := oasis.NewMemoryIndex(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := oasis.NewShardedIndex(nil, oasis.ShardOptions{
+				IndexDir: dir,
+				// Small pools keep real page traffic (and eviction) in play.
+				PoolBytes: 64 * 2048,
+				Workers:   2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			if sharded.NumShards() != 4 {
+				t.Fatalf("got %d shards, want 4", sharded.NumShards())
+			}
+			if sharded.TotalResidues() != db.TotalResidues() {
+				t.Fatalf("disk engine serves %d residues, db has %d", sharded.TotalResidues(), db.TotalResidues())
+			}
+			for _, q := range queries {
+				opts, err := oasis.NewSearchOptionsSized(scheme, sharded.TotalResidues(), q.Residues, oasis.WithEValue(20000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := oasis.SearchAll(single, q.Residues, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var st oasis.SearchStats
+				opts.Stats = &st
+				got, err := sharded.SearchAll(q.Residues, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("query %s: disk-sharded reported %d hits, single %d", q.ID, len(got), len(want))
+				}
+				seen := map[int]int{}
+				for _, h := range want {
+					seen[h.SeqIndex] = h.Score
+				}
+				for i, h := range got {
+					if s, ok := seen[h.SeqIndex]; !ok || s != h.Score {
+						t.Fatalf("query %s: hit %d (%s score %d) not in single-index results", q.ID, i, h.SeqID, h.Score)
+					}
+					if h.Score != want[i].Score {
+						t.Fatalf("query %s: score at position %d is %d, single-index has %d", q.ID, i, h.Score, want[i].Score)
+					}
+				}
+				// Alignment recovery must work without the source database:
+				// residues come back through the shard buffer pools.
+				if len(got) > 0 {
+					if _, err := sharded.RecoverAlignment(q.Residues, scheme, got[0]); err != nil {
+						t.Fatalf("query %s: recover alignment: %v", q.ID, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiskEngineServesBatches drives the warm batch engine over a disk index
+// directory through the public facade (OpenEngine + SubmitBatch) and checks
+// the multiplexed results against per-query in-memory searches.
+func TestDiskEngineServesBatches(t *testing.T) {
+	db, dir := buildDiskShardedIndex(t, 92, true, 3)
+	queries, err := workload.MotifQueries(db, nil, workload.DefaultQueryConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("PAM30"), -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := oasis.NewMemoryIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oasis.OpenEngine(dir, oasis.EngineOptions{BatchWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.DB() != nil {
+		t.Fatal("disk-backed engine must not hold a database")
+	}
+	if eng.NumSequences() != db.NumSequences() {
+		t.Fatalf("engine serves %d sequences, db has %d", eng.NumSequences(), db.NumSequences())
+	}
+
+	batch := make([]oasis.BatchQuery, len(queries))
+	wantCounts := make(map[string]int)
+	for i, q := range queries {
+		opts, err := oasis.NewSearchOptionsSized(scheme, eng.TotalResidues(), q.Residues, oasis.WithEValue(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = oasis.BatchQuery{ID: q.ID, Residues: q.Residues, Options: opts}
+		want, err := oasis.SearchAll(single, q.Residues, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCounts[q.ID] = len(want)
+	}
+	gotCounts := make(map[string]int)
+	lastScore := make(map[string]int)
+	for r := range eng.SubmitBatch(context.Background(), batch) {
+		if r.Done {
+			if r.Err != nil {
+				t.Fatalf("query %s failed: %v", r.QueryID, r.Err)
+			}
+			continue
+		}
+		if prev, ok := lastScore[r.QueryID]; ok && r.Hit.Score > prev {
+			t.Fatalf("query %s: score %d after %d", r.QueryID, r.Hit.Score, prev)
+		}
+		lastScore[r.QueryID] = r.Hit.Score
+		gotCounts[r.QueryID]++
+	}
+	for id, want := range wantCounts {
+		if gotCounts[id] != want {
+			t.Fatalf("query %s: disk batch reported %d hits, single-index %d", id, gotCounts[id], want)
+		}
+	}
+	// Disk-backed metrics must expose per-shard buffer-pool statistics.
+	m := eng.Metrics()
+	if len(m.Pools) == 0 {
+		t.Fatal("disk-backed engine metrics have no buffer-pool stats")
+	}
+	var requests int64
+	for _, ps := range m.Pools {
+		requests += ps.Requests
+	}
+	if requests == 0 {
+		t.Fatal("buffer pools saw no requests while serving batches")
+	}
+}

@@ -5,11 +5,24 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskst"
 	"repro/internal/engine"
+	"repro/internal/shard"
 )
 
 // EngineOptions configures a warm batch query engine.
 type EngineOptions struct {
+	// IndexDir, when set, serves a prebuilt sharded disk index directory
+	// (written by BuildShardedDiskIndex / oasis-build -shards) instead of
+	// building in-memory indexes: each shard searches its own disk index
+	// through its own buffer pool, so one warm engine serves databases
+	// bigger than RAM.  Shard count and partition mode come from the
+	// manifest (leave Shards and PartitionByPrefix zero/false) and
+	// NewEngine must be called with a nil database.
+	IndexDir string
+	// PoolBytes is the per-shard buffer-pool capacity in bytes for IndexDir
+	// engines (default 64 MB).
+	PoolBytes int64
 	// Shards is the number of work partitions (default 1; capped at the
 	// number of sequences unless PartitionByPrefix is set).
 	Shards int
@@ -54,9 +67,12 @@ type Engine struct {
 }
 
 // NewEngine builds the warm engine over db: the database is partitioned into
-// opts.Shards shards, each indexed once.
+// opts.Shards shards, each indexed once.  With opts.IndexDir (and a nil db)
+// it instead opens the directory's prebuilt per-shard disk indexes.
 func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
 	eng, err := engine.New(db, engine.Options{
+		IndexDir:          opts.IndexDir,
+		PoolBytes:         opts.PoolBytes,
 		Shards:            opts.Shards,
 		PartitionByPrefix: opts.PartitionByPrefix,
 		ShardWorkers:      opts.ShardWorkers,
@@ -69,11 +85,41 @@ func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
 	return &Engine{eng: eng, db: db}, nil
 }
 
-// DB returns the database the engine serves.
+// OpenEngine opens a warm engine over the prebuilt sharded disk index in
+// dir; shorthand for NewEngine(nil, EngineOptions{IndexDir: dir, ...}).
+func OpenEngine(dir string, opts EngineOptions) (*Engine, error) {
+	opts.IndexDir = dir
+	return NewEngine(nil, opts)
+}
+
+// DB returns the database the engine serves, or nil for disk-backed engines
+// (use Catalog, Alphabet, NumSequences and TotalResidues in both modes).
 func (e *Engine) DB() *Database { return e.db }
+
+// Catalog returns the global sequence catalog the engine serves.
+func (e *Engine) Catalog() Catalog { return e.eng.Catalog() }
+
+// Alphabet returns the residue alphabet of the served database.
+func (e *Engine) Alphabet() *Alphabet { return e.eng.Alphabet() }
+
+// NumSequences returns the number of sequences the engine serves.
+func (e *Engine) NumSequences() int { return e.eng.NumSequences() }
+
+// TotalResidues returns the total residue count the engine serves.
+func (e *Engine) TotalResidues() int64 { return e.eng.TotalResidues() }
 
 // NumShards returns the number of partitions actually built.
 func (e *Engine) NumShards() int { return e.eng.NumShards() }
+
+// Partition returns the engine's work-partitioning mode as the manifest
+// spells it: "sequence" (independent per-shard indexes) or "prefix" (one
+// shared index, disjoint subtrees per shard).
+func (e *Engine) Partition() string {
+	if e.eng.Partition() == shard.PartitionByPrefix {
+		return diskst.PartitionPrefix
+	}
+	return diskst.PartitionSequence
+}
 
 // BatchWorkers returns the batch concurrency bound.
 func (e *Engine) BatchWorkers() int { return e.eng.BatchWorkers() }
@@ -196,9 +242,10 @@ func (e *Engine) SearchAll(ctx context.Context, query []byte, opts SearchOptions
 }
 
 // RecoverAlignment reconstructs the full alignment for a hit reported by
-// this engine.
+// this engine (disk-backed engines read the residues back through the owning
+// shard's buffer pool).
 func (e *Engine) RecoverAlignment(query []byte, scheme Scheme, h Hit) (Alignment, error) {
-	return core.RecoverAlignmentCatalog(core.NewDatabaseCatalog(e.db), query, scheme, h)
+	return recoverAlignmentCatalog(e.eng.Catalog(), query, scheme, h)
 }
 
 // coreOptions translates the public search options into internal ones.

@@ -23,6 +23,20 @@
 //	sharded, _ := oasis.NewShardedIndex(db, oasis.ShardOptions{Shards: 8, Workers: 4})
 //	hits, _ := sharded.SearchAll(query, opts) // same hits, same order guarantee
 //
+// For long-running servers, NewEngine wraps the sharded index in a warm
+// batch engine (build once, serve many; see Engine.SubmitBatch), and for
+// databases bigger than RAM the whole stack runs disk-backed:
+// BuildShardedDiskIndex writes one index file per shard plus a manifest,
+// and OpenEngine / ShardOptions.IndexDir serve that directory with one
+// buffer pool per shard, so shard parallelism also parallelises page I/O
+// and hit streams are identical to the in-memory engines:
+//
+//	oasis.BuildShardedDiskIndex("swissprot.idx", db, oasis.ShardedIndexBuildOptions{Shards: 8})
+//	eng, _ := oasis.OpenEngine("swissprot.idx", oasis.EngineOptions{PoolBytes: 64 << 20})
+//	defer eng.Close()
+//
+// See the Example functions for runnable versions of each flow.
+//
 // The package also exposes the two baselines of the paper's evaluation —
 // exact Smith-Waterman search and a BLAST-style heuristic search — so that
 // results and costs can be compared on the same data.
@@ -76,6 +90,9 @@ type (
 	SearchStats = core.Stats
 	// Index is the suffix-tree view OASIS searches over.
 	Index = core.Index
+	// Catalog is the sequence-metadata view of an index or engine
+	// (identifiers, lengths, residues for alignment recovery).
+	Catalog = core.Catalog
 	// MemoryIndex is the in-memory index implementation.
 	MemoryIndex = core.MemoryIndex
 	// Alignment is a full traceback of one local alignment.
@@ -124,6 +141,37 @@ func BuildDiskIndex(path string, db *Database, opts IndexBuildOptions) (*IndexSt
 		PrefixLen:    opts.PrefixLen,
 	})
 }
+
+// ShardedIndexBuildOptions configures sharded disk-index construction.
+type ShardedIndexBuildOptions struct {
+	// BlockSize is the disk block size in bytes (default 2048).
+	BlockSize int
+	// Shards is the number of work partitions (>= 1).
+	Shards int
+	// PartitionByPrefix writes ONE shared index file plus a suffix-prefix ->
+	// shard assignment (Hunt-style subtree partitions) instead of one
+	// independently indexed file per disjoint sequence subset.
+	PartitionByPrefix bool
+}
+
+// IndexManifest describes a sharded disk index directory: partition mode,
+// shard count, file names and the per-shard assignment metadata.
+type IndexManifest = diskst.Manifest
+
+// BuildShardedDiskIndex partitions db and writes one index file per shard
+// (prefix mode: one shared file) plus a manifest.json into dir, ready for
+// EngineOptions.IndexDir / ShardOptions.IndexDir serving without rebuilding.
+func BuildShardedDiskIndex(dir string, db *Database, opts ShardedIndexBuildOptions) (*IndexManifest, []IndexStats, error) {
+	return diskst.BuildSharded(dir, db, diskst.ShardedBuildOptions{
+		WriteOptions:      diskst.WriteOptions{BlockSize: opts.BlockSize},
+		Shards:            opts.Shards,
+		PartitionByPrefix: opts.PartitionByPrefix,
+	})
+}
+
+// ReadIndexManifest reads and validates the manifest of a sharded disk index
+// directory.
+func ReadIndexManifest(dir string) (*IndexManifest, error) { return diskst.ReadManifest(dir) }
 
 // DiskIndex is a disk-resident index read through a buffer pool.
 type DiskIndex struct {
@@ -227,14 +275,23 @@ func WithStats(st *SearchStats) SearchOption {
 // NewSearchOptions assembles search options for a query against a database
 // (the database size is needed to convert E-values into score thresholds).
 func NewSearchOptions(scheme Scheme, db *Database, query []byte, opts ...SearchOption) (SearchOptions, error) {
+	var dbLen int64
+	if db != nil {
+		dbLen = db.TotalResidues()
+	}
+	return NewSearchOptionsSized(scheme, dbLen, query, opts...)
+}
+
+// NewSearchOptionsSized is NewSearchOptions for callers that know the
+// database's total residue count but do not hold a Database — disk-backed
+// engines serve indexes whose sequences never enter memory (use
+// Engine.TotalResidues or Catalog.TotalResidues for the size).
+func NewSearchOptionsSized(scheme Scheme, dbResidues int64, query []byte, opts ...SearchOption) (SearchOptions, error) {
 	if err := scheme.Validate(); err != nil {
 		return SearchOptions{}, err
 	}
 	o := SearchOptions{Scheme: scheme, MinScore: 1}
-	ctx := searchContext{queryLen: len(query)}
-	if db != nil {
-		ctx.dbLen = db.TotalResidues()
-	}
+	ctx := searchContext{queryLen: len(query), dbLen: dbResidues}
 	for _, opt := range opts {
 		if err := opt(&o, ctx); err != nil {
 			return SearchOptions{}, err
@@ -263,6 +320,12 @@ func SearchAll(idx Index, query []byte, opts SearchOptions) ([]Hit, error) {
 // identity) for a hit reported by Search.
 func RecoverAlignment(idx Index, query []byte, scheme Scheme, h Hit) (Alignment, error) {
 	return core.RecoverAlignment(idx, query, scheme, h)
+}
+
+// recoverAlignmentCatalog is the catalog-based recovery shared by the
+// sharded and batch engines (their hit sequence indexes are global).
+func recoverAlignmentCatalog(cat Catalog, query []byte, scheme Scheme, h Hit) (Alignment, error) {
+	return core.RecoverAlignmentCatalog(cat, query, scheme, h)
 }
 
 // SmithWaterman runs the exact quadratic-time baseline over every sequence

@@ -1,12 +1,24 @@
 package oasis
 
 import (
-	"repro/internal/core"
+	"fmt"
+
 	"repro/internal/shard"
 )
 
-// ShardOptions configures a sharded in-memory search engine.
+// ShardOptions configures a sharded search engine.
 type ShardOptions struct {
+	// IndexDir, when set, opens a prebuilt sharded disk index directory
+	// (written by BuildShardedDiskIndex / oasis-build -shards) instead of
+	// building in-memory indexes: each shard searches its own disk index
+	// through its own buffer pool.  The shard count and partition mode come
+	// from the directory's manifest, so Shards and PartitionByPrefix must
+	// be left zero/false, and NewShardedIndex must be called with a nil
+	// database.  Call Close when done.
+	IndexDir string
+	// PoolBytes is the per-shard buffer-pool capacity in bytes for IndexDir
+	// engines (default 64 MB).
+	PoolBytes int64
 	// Shards is the number of work partitions (default 1).  Without
 	// PartitionByPrefix the database is split into this many independently
 	// indexed shards balanced by residue count (capped at the number of
@@ -42,13 +54,31 @@ type ShardOptions struct {
 //	})
 type ShardedIndex struct {
 	engine *shard.Engine
-	db     *Database
+	db     *Database // nil for disk-backed engines
 }
 
 // NewShardedIndex partitions the work for db into opts.Shards shards: one
 // in-memory suffix-tree index per shard by default, or one shared index with
-// per-shard subtree assignments when opts.PartitionByPrefix is set.
+// per-shard subtree assignments when opts.PartitionByPrefix is set.  With
+// opts.IndexDir (and a nil db) it instead opens the directory's prebuilt
+// per-shard disk indexes, one buffer pool per shard.
 func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
+	if opts.IndexDir != "" {
+		if db != nil {
+			return nil, fmt.Errorf("oasis: IndexDir and a database are mutually exclusive")
+		}
+		if opts.Shards != 0 || opts.PartitionByPrefix {
+			return nil, fmt.Errorf("oasis: Shards/PartitionByPrefix come from the IndexDir manifest; do not set them")
+		}
+		engine, err := shard.OpenDiskEngine(opts.IndexDir, shard.DiskOptions{
+			Workers:           opts.Workers,
+			PoolBytesPerShard: opts.PoolBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedIndex{engine: engine}, nil
+	}
 	mode := shard.PartitionBySequence
 	if opts.PartitionByPrefix {
 		mode = shard.PartitionByPrefix
@@ -70,6 +100,18 @@ func (x *ShardedIndex) NumShards() int { return x.engine.NumShards() }
 // Workers returns the per-query concurrency bound.
 func (x *ShardedIndex) Workers() int { return x.engine.Workers() }
 
+// Catalog returns the global sequence catalog the index serves (valid for
+// both in-memory and disk-backed engines).
+func (x *ShardedIndex) Catalog() Catalog { return x.engine.Catalog() }
+
+// TotalResidues returns the total residue count the index serves (the
+// database size NewSearchOptionsSized needs for E-value thresholds).
+func (x *ShardedIndex) TotalResidues() int64 { return x.engine.Catalog().TotalResidues() }
+
+// Close releases resources the engine owns (disk index files for IndexDir
+// engines; a no-op for in-memory ones).
+func (x *ShardedIndex) Close() error { return x.engine.Close() }
+
 // Search runs the query on every shard and streams the merged hits to
 // report in decreasing score order, exactly like the single-index Search.
 // Per-shard work counters are merged into opts.Stats; return false from
@@ -80,9 +122,10 @@ func (x *ShardedIndex) Search(query []byte, opts SearchOptions, report func(Hit)
 
 // RecoverAlignment reconstructs the full alignment for a hit reported by
 // this engine (hit sequence indexes are global, so recovery runs against
-// the source database).
+// the engine's global catalog — for disk-backed engines the residues are
+// read back through the owning shard's buffer pool).
 func (x *ShardedIndex) RecoverAlignment(query []byte, scheme Scheme, h Hit) (Alignment, error) {
-	return core.RecoverAlignmentCatalog(core.NewDatabaseCatalog(x.db), query, scheme, h)
+	return recoverAlignmentCatalog(x.engine.Catalog(), query, scheme, h)
 }
 
 // SearchAll runs Search and collects every hit.
