@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk or all")
+		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk,cache or all")
 		residues     = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries      = flag.Int("queries", 60, "number of motif queries")
 		eValue       = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -46,6 +46,8 @@ func main() {
 		jsonPath     = flag.String("json", "BENCH_oasis.json", "machine-readable benchmark report path (empty = skip)")
 		prefixBudget = flag.Float64("prefix-budget", 0,
 			"fail -exp sharded when prefix-partitioned ColumnsExpanded exceeds this ratio of the 1-shard baseline (0 = no check; CI uses 1.05)")
+		cacheHitFloor = flag.Float64("cache-hit-floor", 0,
+			"fail -exp cache when the repeated-query streams' cache hit rate falls below this (0 = no check; CI uses 0.3)")
 	)
 	flag.Parse()
 
@@ -62,7 +64,7 @@ func main() {
 	}
 	shardCounts, err := parseShardCounts(*shards)
 	if err == nil {
-		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath, *prefixBudget)
+		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath, *prefixBudget, *cacheHitFloor)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-bench:", err)
@@ -89,7 +91,7 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string, prefixBudget float64) error {
+func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string, prefixBudget, cacheHitFloor float64) error {
 	selected := map[string]bool{}
 	for _, e := range strings.Split(exps, ",") {
 		selected[strings.TrimSpace(strings.ToLower(e))] = true
@@ -247,6 +249,41 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 					"queries":         float64(r.Queries),
 				},
 			})
+		}
+	}
+	if want("cache") {
+		// The cross-query result cache on repeated-query streams: hit rate
+		// and throughput versus the duplicate fraction, at the first
+		// configured shard count.
+		rows, err := experiments.Cache(lab, shardCounts[0], workers, 0, 0, []int{0, 50, 80, 95})
+		if err != nil {
+			return err
+		}
+		experiments.RenderCache(out, rows)
+		for _, r := range rows {
+			name := fmt.Sprintf("cache/dup=%d", r.DupPercent)
+			if r.Mode == "cache-off" {
+				name = fmt.Sprintf("cache/off/dup=%d", r.DupPercent)
+			}
+			report.Records = append(report.Records, experiments.BenchRecord{
+				Name:    name,
+				NsPerOp: float64(r.QueryTime),
+				Extra: map[string]float64{
+					"queries_per_sec": r.QueriesPerSec,
+					"speedup":         r.Speedup,
+					"hit_rate":        r.HitRate,
+					"cache_hits":      float64(r.CacheHits),
+					"queries":         float64(r.Queries),
+					"unique":          float64(r.Unique),
+					"hits":            float64(r.Hits),
+				},
+			})
+		}
+		if cacheHitFloor > 0 {
+			if err := experiments.CheckCacheHits(rows, cacheHitFloor); err != nil {
+				return err
+			}
+			fmt.Printf("repeated-query cache hit rate at or above %.2f\n", cacheHitFloor)
 		}
 	}
 	if want("disk") {

@@ -20,9 +20,13 @@ type latencyHistogram struct {
 	buckets [len(latencyBounds) + 1]int64
 }
 
-// observe records one request duration.
+// observe records one request duration.  The conversion keeps nanosecond
+// precision: truncating to whole microseconds first (as an earlier version
+// did) biased sub-microsecond observations to exactly 0 and pushed
+// durations just over a bucket bound back onto the bound, so boundary
+// buckets over-counted.
 func (h *latencyHistogram) observe(d time.Duration) {
-	ms := float64(d.Microseconds()) / 1000
+	ms := float64(d.Nanoseconds()) / 1e6
 	i := 0
 	for i < len(latencyBounds) && ms > latencyBounds[i] {
 		i++

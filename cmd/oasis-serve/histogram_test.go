@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramSubMicrosecondPrecision pins the truncation fix: observe used
+// to convert through whole microseconds, so sub-microsecond requests were
+// recorded as exactly 0 ms and the mean/max of fast endpoints read as zero.
+func TestHistogramSubMicrosecondPrecision(t *testing.T) {
+	h := &latencyHistogram{}
+	h.observe(300 * time.Nanosecond)
+	s := h.snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.SumMs <= 0 || s.MaxMs <= 0 || s.MeanMs <= 0 {
+		t.Fatalf("sub-microsecond observation truncated to zero: %+v", s)
+	}
+	if want := 300.0 / 1e6; s.SumMs != want {
+		t.Fatalf("SumMs = %g, want %g", s.SumMs, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket comparison at the bounds: a
+// duration exactly on a bound belongs to that bound's bucket (cumulative
+// "less or equal" semantics), while one a nanosecond over must fall into the
+// next bucket — before the fix, microsecond truncation dragged it back onto
+// the bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := &latencyHistogram{}
+	bound := 250 * time.Microsecond // latencyBounds[0] = 0.25 ms
+	h.observe(bound)
+	h.observe(bound + time.Nanosecond)
+	s := h.snapshot()
+	if s.Buckets[0].LeMs != 0.25 {
+		t.Fatalf("first bucket bound = %v", s.Buckets[0].LeMs)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Fatalf("le=0.25ms bucket counts %d, want exactly the on-bound observation", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 2 {
+		t.Fatalf("le=1ms cumulative count = %d, want 2", s.Buckets[1].Count)
+	}
+	// The unbounded bucket always equals the total count.
+	h.observe(10 * time.Second)
+	s = h.snapshot()
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LeMs != -1 || last.Count != 3 {
+		t.Fatalf("+Inf bucket = %+v, want count 3", last)
+	}
+	if s.MaxMs != 10000 {
+		t.Fatalf("MaxMs = %v, want 10000", s.MaxMs)
+	}
+}

@@ -41,21 +41,51 @@
 // rejected with HTTP 413 so one huge batch cannot monopolise the worker
 // pool.
 //
+// # Result cache and fair admission
+//
+// The engine keeps a cross-query result cache (-cache MB, default 32, 0
+// disables): completed hit streams are stored keyed by (query residues,
+// search options), and an identical query arriving again — the common case
+// for dashboards, retries and shared motif lookups — replays the stored
+// stream without touching the index.  Concurrent identical queries run the
+// DP sweep once (single-flight).  Indexes are immutable, so entries never go
+// stale; an LRU evicts by recency when the budget fills.
+//
+// Search and batch requests pass a per-client fair admission controller
+// before reaching the engine: at most -admission-slots requests run at once
+// (default 2x GOMAXPROCS), and when the server is saturated, waiting
+// requests queue PER CLIENT (X-Client-ID header, else remote address) and
+// are admitted by deficit round-robin with cost = query count — so a client
+// streaming maximal batches cannot starve interactive /search users.  A
+// client with -admission-queue requests already waiting gets HTTP 429.
+// X-Client-ID is trusted as sent; in front of untrusted callers, strip or
+// overwrite it at the ingress proxy so the remote-address fallback applies.
+//
 // GET /metrics returns a JSON resource snapshot for capacity planning:
 //
 //	{"engine":{"scratch":{...free-list reuse...},
 //	           "shards":[{"shard":0,"queued":0,"active":1},...],
-//	           "pools":[{"shard":0,"requests":512,"hits":498,"hit_ratio":0.97},...]},
+//	           "pools":[{"shard":0,"requests":512,"hits":498,"hit_ratio":0.97},...],
+//	           "cache":{"entries":12,"bytes":18432,"max_bytes":33554432,
+//	                    "hits":96,"misses":32,"hit_rate":0.75,
+//	                    "insertions":32,"evictions":0,"flight_waits":3}},
 //	 "latency":{"search":{"count":42,"mean_ms":3.1,"max_ms":17.8,
 //	            "buckets":[{"le_ms":0.25,"count":0},...,{"le_ms":-1,"count":42}]},
 //	            "batch":{...},"healthz":{...},"stats":{...},"metrics":{...}},
+//	 "cache_hit_rate":0.75,
+//	 "admission":{"slots":8,"active":2,"admitted":130,"rejected":4,
+//	              "clients":[{"client":"10.0.0.7","queued":3,"active":1,
+//	                          "admitted":57,"rejected":4},...]},
 //	 "queries_served":128,"hits_reported":3072,"max_batch":256}
 //
 // "pools" is present only for -index-dir engines (shard -1 is the shared
-// prefix-mode frontier view).  "latency" holds one histogram per endpoint,
-// measured from request decode through the last streamed event; bucket
-// counts are cumulative with upper bounds in milliseconds and le_ms -1
-// marking the unbounded bucket.
+// prefix-mode frontier view).  "cache"/"cache_hit_rate" are present when the
+// result cache is enabled, "admission" when admission control is (always,
+// unless built with slots 0 in tests); "clients" lists currently active or
+// queued clients only.  "latency" holds one histogram per endpoint, measured
+// from request decode through the last streamed event; bucket counts are
+// cumulative with upper bounds in milliseconds and le_ms -1 marking the
+// unbounded bucket.
 //
 // GET /healthz returns liveness plus the database shape; GET /stats returns
 // the engine's lifetime counters (queries, hits, merged work counters).
@@ -63,7 +93,7 @@
 // Example:
 //
 //	oasis-serve -db swissprot.fasta -shards 8 -addr :8080
-//	oasis-serve -index-dir swissprot.idx -pool 64 -addr :8080
+//	oasis-serve -index-dir swissprot.idx -pool 64 -cache 128 -addr :8080
 //	curl -sN localhost:8080/search -d '{"query":"DKDGDGCITTKEL","top":5}'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close first,
@@ -80,6 +110,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -101,6 +132,9 @@ type serveFlags struct {
 	shardWorkers int
 	batchWorkers int
 	maxBatch     int
+	cacheMB      int64
+	admSlots     int
+	admQueue     int
 	shutdownWait time.Duration
 }
 
@@ -119,8 +153,14 @@ func main() {
 	flag.IntVar(&f.shardWorkers, "shard-workers", 0, "concurrent shard searches per query (0 = one per shard)")
 	flag.IntVar(&f.batchWorkers, "batch-workers", 0, "concurrent queries per batch (0 = GOMAXPROCS)")
 	flag.IntVar(&f.maxBatch, "max-batch", 256, "maximum queries per /batch request")
+	flag.Int64Var(&f.cacheMB, "cache", 32, "cross-query result cache size in MB (identical queries replay without touching the index; 0 disables)")
+	flag.IntVar(&f.admSlots, "admission-slots", 0, "concurrent search/batch requests across all clients (0 = 2x GOMAXPROCS); excess requests wait in per-client fair queues")
+	flag.IntVar(&f.admQueue, "admission-queue", 64, "waiting requests allowed per client before HTTP 429")
 	flag.DurationVar(&f.shutdownWait, "shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
+	if f.admSlots <= 0 {
+		f.admSlots = 2 * runtime.GOMAXPROCS(0)
+	}
 	if err := run(f); err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-serve:", err)
 		os.Exit(1)
@@ -142,6 +182,7 @@ func buildEngine(f serveFlags) (*oasis.Engine, string, error) {
 			PoolBytes:    f.poolMB << 20,
 			ShardWorkers: f.shardWorkers,
 			BatchWorkers: f.batchWorkers,
+			CacheBytes:   f.cacheMB << 20,
 		})
 		if err != nil {
 			return nil, "", err
@@ -167,6 +208,7 @@ func buildEngine(f serveFlags) (*oasis.Engine, string, error) {
 		PartitionByPrefix: f.prefixShards,
 		ShardWorkers:      f.shardWorkers,
 		BatchWorkers:      f.batchWorkers,
+		CacheBytes:        f.cacheMB << 20,
 	})
 	if err != nil {
 		return nil, "", err
@@ -205,9 +247,11 @@ func run(f serveFlags) error {
 	srv := &http.Server{
 		Addr: f.addr,
 		Handler: newServer(eng, serverConfig{
-			scheme:        scheme,
-			defaultEValue: f.eValue,
-			maxBatch:      f.maxBatch,
+			scheme:         scheme,
+			defaultEValue:  f.eValue,
+			maxBatch:       f.maxBatch,
+			admissionSlots: f.admSlots,
+			admissionQueue: f.admQueue,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 
@@ -17,6 +19,14 @@ type serverConfig struct {
 	maxBatch int
 	// maxQueryLen bounds accepted query lengths (residues).
 	maxQueryLen int
+	// admissionSlots bounds how many search/batch requests run concurrently
+	// across ALL clients; excess requests wait in per-client fair queues
+	// (deficit round-robin over client keys).  0 disables admission control
+	// (tests; -admission-slots defaults it on in main).
+	admissionSlots int
+	// admissionQueue bounds each client's waiting queue; requests beyond it
+	// get HTTP 429.
+	admissionQueue int
 }
 
 // searchRequest is the JSON body of POST /search and one element of the
@@ -64,6 +74,9 @@ type server struct {
 	// lat holds one latency histogram per endpoint, keyed by the /metrics
 	// label; populated once in newServer, so reads are lock-free.
 	lat map[string]*latencyHistogram
+	// adm is the per-client fair admission controller in front of the
+	// search/batch endpoints (nil when cfg.admissionSlots is 0).
+	adm *admission
 }
 
 // newServer builds the HTTP handler: build the engine once, serve many
@@ -76,7 +89,13 @@ func newServer(eng *oasis.Engine, cfg serverConfig) *server {
 	if cfg.maxQueryLen <= 0 {
 		cfg.maxQueryLen = 10_000
 	}
+	if cfg.admissionQueue <= 0 {
+		cfg.admissionQueue = 64
+	}
 	s := &server{eng: eng, cfg: cfg, mux: http.NewServeMux(), lat: map[string]*latencyHistogram{}}
+	if cfg.admissionSlots > 0 {
+		s.adm = newAdmission(cfg.admissionSlots, cfg.admissionQueue)
+	}
 	s.handle("GET /healthz", "healthz", s.handleHealth)
 	s.handle("GET /stats", "stats", s.handleStats)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
@@ -124,13 +143,67 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for label, hist := range s.lat {
 		latency[label] = hist.snapshot()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"engine":         s.eng.Metrics(),
+	em := s.eng.Metrics()
+	body := map[string]any{
+		"engine":         em,
 		"latency":        latency,
 		"queries_served": st.QueriesServed,
 		"hits_reported":  st.HitsReported,
 		"max_batch":      s.cfg.maxBatch,
-	})
+	}
+	if em.Cache != nil {
+		// Headline number for dashboards; the full counters live under
+		// engine.cache.
+		body["cache_hit_rate"] = em.Cache.HitRate
+	}
+	if s.adm != nil {
+		body["admission"] = s.adm.snapshot()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// clientKey identifies the requester for fair admission: an explicit
+// X-Client-ID header when present, otherwise the remote host (all
+// connections from one address share a queue).
+//
+// X-Client-ID is a COOPERATIVE key: a caller that mints a fresh ID per
+// request gets a fresh DRR queue each time and defeats the weighting.
+// Deployments facing untrusted clients should strip or overwrite the header
+// at the ingress proxy (e.g. set it to the authenticated principal) so the
+// fallback — the remote address, which a client cannot cheaply multiply —
+// is what actually partitions strangers.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admit reserves a fair-admission slot for a request of the given cost (one
+// per query), blocking in the requester's per-client queue when the server
+// is saturated.  The returned release function must be deferred; ok=false
+// means the response has already been written.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, cost int) (release func(), ok bool) {
+	if s.adm == nil {
+		return func() {}, true
+	}
+	release, err := s.adm.acquire(r.Context(), clientKey(r), cost)
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, errAdmissionQueueFull):
+		// 429: this client already has a full queue of waiting requests;
+		// admitting more would let it crowd out everyone else.
+		httpError(w, http.StatusTooManyRequests, err)
+		return nil, false
+	default:
+		// The client went away while queued; nothing useful to write.
+		return nil, false
+	}
 }
 
 // buildQuery validates one request and assembles the batch query for it.
@@ -181,6 +254,11 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	release, ok := s.admit(w, r, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	s.streamBatch(w, r, []oasis.BatchQuery{q})
 }
 
@@ -212,6 +290,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = q
 	}
+	// A batch's admission cost is its query count, so under contention a
+	// maximal batch waits ~len(batch) fair-queue rounds while interactive
+	// single-query clients are admitted every round.
+	release, ok := s.admit(w, r, len(batch))
+	if !ok {
+		return
+	}
+	defer release()
 	s.streamBatch(w, r, batch)
 }
 
@@ -228,7 +314,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, batch []oas
 		if res.Done {
 			ev.Type = "done"
 			ev.Hits = counts[res.Index]
-			ev.ElapsedMs = float64(res.Elapsed.Microseconds()) / 1000
+			ev.ElapsedMs = float64(res.Elapsed.Nanoseconds()) / 1e6
 			st := res.Stats
 			ev.Stats = &st
 			if res.Err != nil {

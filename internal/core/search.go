@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -38,7 +39,22 @@ type Options struct {
 	// engines avoid per-query allocation.  A Scratch must serve at most one
 	// search at a time; results are identical with or without it.
 	Scratch *Scratch
+	// Context, when non-nil, cancels an in-flight search from inside the DP
+	// sweep: the searcher polls Context.Err() every CancelPollColumns
+	// columns, so even a long hit-less stretch (where no report callback
+	// runs that a caller could cancel from) observes cancellation promptly.
+	// A cancelled search returns the context's error.
+	Context context.Context
+	// CancelPollColumns is how many DP columns may be swept between
+	// cancellation polls (0 selects DefaultCancelPollColumns; negative
+	// disables polling).  Smaller values cancel faster but poll more.
+	CancelPollColumns int
 }
+
+// DefaultCancelPollColumns is the default cancellation poll interval: one
+// Context.Err() call per this many DP columns keeps poll overhead well under
+// the column sweep cost while bounding the work done after cancellation.
+const DefaultCancelPollColumns = 256
 
 // Hit is one reported sequence: the strongest local alignment between the
 // query and that sequence (OASIS duplicates S-W's one-hit-per-sequence
@@ -210,6 +226,12 @@ type searcher struct {
 	// frontier, when non-nil, receives the f-value of every popped node
 	// (see SearchStream).
 	frontier func(bound int) bool
+	// ctx/pollEvery/pollCountdown implement Options.Context: the countdown
+	// decrements once per DP column across expansions, and each time it hits
+	// zero the context is polled (ctx is nil when polling is disabled).
+	ctx           context.Context
+	pollEvery     int
+	pollCountdown int
 	// prevBuf/curBuf are scratch columns reused across expansions to avoid
 	// a pair of allocations per visited child.
 	prevBuf []int
@@ -272,6 +294,14 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 		freeNodes: sc.freeNodes,
 		prof:      sc.prof,
 		profWidth: mat.Size(),
+	}
+	if opts.Context != nil && opts.CancelPollColumns >= 0 {
+		s.ctx = opts.Context
+		s.pollEvery = opts.CancelPollColumns
+		if s.pollEvery == 0 {
+			s.pollEvery = DefaultCancelPollColumns
+		}
+		s.pollCountdown = s.pollEvery
 	}
 	s.pq.items = sc.heapItems[:0]
 	return s, nil
@@ -521,6 +551,21 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 	var chunk []byte
 	chunkStart, chunkEnd := 0, 0
 	for j := 0; j < labelLen; j++ {
+		// Cancellation poll (Options.Context): one countdown per column,
+		// carried across expansions on the searcher, so a query stuck in a
+		// long hit-less DP stretch still observes ctx within pollEvery
+		// columns instead of only at the next hit callback.
+		if s.ctx != nil {
+			s.pollCountdown--
+			if s.pollCountdown <= 0 {
+				s.pollCountdown = s.pollEvery
+				if err := s.ctx.Err(); err != nil {
+					s.recordColumns(columns, cells)
+					s.prevBuf, s.curBuf = prev, cur
+					return nil, err
+				}
+			}
+		}
 		if j >= chunkEnd {
 			to := j + 64
 			if to > labelLen {

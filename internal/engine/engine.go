@@ -1,9 +1,12 @@
 // Package engine turns the per-query OASIS machinery into a long-running
 // batch query engine: one warm sharded index (internal/shard) built once,
 // per-worker scratch reuse (internal/core.Scratch pooled through
-// internal/bufferpool.FreeList), and a SubmitBatch API that multiplexes many
-// concurrent queries over the shared index while preserving each query's
-// online decreasing-score hit stream.
+// internal/bufferpool.FreeList), an optional cross-query result cache
+// (internal/qcache, Options.CacheBytes) that replays completed hit streams
+// for repeated queries and single-flights concurrent duplicates, and a
+// SubmitBatch API that multiplexes many concurrent queries over the shared
+// index — on a bounded worker pool — while preserving each query's online
+// decreasing-score hit stream.
 //
 // The paper's value proposition is online search — hits stream out strongest
 // first so clients can stop early — but a cold start per query (index
@@ -28,6 +31,7 @@ import (
 	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/diskst"
+	"repro/internal/qcache"
 	"repro/internal/seq"
 	"repro/internal/shard"
 )
@@ -63,6 +67,15 @@ type Options struct {
 	// (default 64).  A larger buffer decouples slow consumers from the
 	// search workers.
 	ResultBuffer int
+	// CacheBytes bounds the cross-query result cache (internal/qcache): a
+	// positive budget makes the engine store every completed decreasing-score
+	// hit stream and replay it — without touching the index — when an
+	// identical query (same residues, scheme, MinScore, E-value statistics)
+	// arrives again.  Concurrent identical queries are single-flighted: one
+	// runs the DP sweep, the rest wait and replay.  Indexes are immutable
+	// after construction, so cached streams never go stale; the LRU evicts
+	// by recency when the budget fills.  Zero disables caching.
+	CacheBytes int64
 }
 
 // Query is one unit of work for the engine.
@@ -110,6 +123,9 @@ type Engine struct {
 	db           *seq.Database
 	batchWorkers int
 	resultBuffer int
+	// cache is the cross-query result cache (nil when Options.CacheBytes is
+	// zero); it also owns the single-flight table for concurrent duplicates.
+	cache *qcache.Cache
 
 	mu            sync.Mutex
 	stats         core.Stats
@@ -164,12 +180,16 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 	if rb < 1 {
 		rb = 64
 	}
-	return &Engine{
+	e := &Engine{
 		sharded:      sharded,
 		db:           db,
 		batchWorkers: bw,
 		resultBuffer: rb,
-	}, nil
+	}
+	if opts.CacheBytes > 0 {
+		e.cache = qcache.New(opts.CacheBytes)
+	}
+	return e, nil
 }
 
 // DB returns the database the engine was built over, or nil for disk-backed
@@ -225,6 +245,9 @@ type Metrics struct {
 	// engines (nil for in-memory engines; shard -1 is the prefix-mode
 	// frontier view).
 	Pools []diskst.PoolStats `json:"pools,omitempty"`
+	// Cache holds the cross-query result cache counters (nil when the
+	// engine was built without Options.CacheBytes).
+	Cache *qcache.Stats `json:"cache,omitempty"`
 }
 
 // Metrics returns a point-in-time snapshot of the engine's resource usage.
@@ -232,6 +255,10 @@ func (e *Engine) Metrics() Metrics {
 	m := Metrics{Scratch: e.sharded.ScratchStats(), Shards: e.sharded.QueueDepths()}
 	if disk := e.sharded.Disk(); disk != nil {
 		m.Pools = disk.PoolStats()
+	}
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		m.Cache = &cs
 	}
 	return m
 }
@@ -276,11 +303,109 @@ func (e *Engine) Search(ctx context.Context, q Query, report func(core.Hit) bool
 	return e.searchOne(ctx, q, report)
 }
 
+// searchOne serves one query: through the cross-query cache when the engine
+// has one (replay on hit, single-flighted DP sweep on miss), directly off
+// the index otherwise.
 func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
+	if e.cache == nil {
+		return e.searchIndex(ctx, q, report)
+	}
+	key := qcache.NewKey(q.Residues, q.Options)
+	for {
+		if entry, ok := e.cache.Get(key, q.Options.MaxResults); ok {
+			return e.replay(ctx, q, entry, report)
+		}
+		leader, done := e.cache.Begin(key)
+		if leader {
+			break
+		}
+		// A concurrent identical query is already sweeping; wait for its
+		// completion and re-check the cache.  A leader that completed
+		// without inserting (cancelled, or its client stopped early) leaves
+		// a miss, and the next Begin elects us leader.
+		select {
+		case <-done:
+		case <-ctxDone(ctx):
+			return core.Stats{}, ctx.Err()
+		}
+	}
+	defer e.cache.End(key)
+	stopped := false
+	var hits []core.Hit
+	// Stop buffering (and release what was buffered) the moment the stream
+	// outgrows the largest entry the cache can hold: an uncacheable stream
+	// must not cost a full in-memory copy on every execution.
+	sizeLeft := e.cache.MaxEntryBytes()
+	st, err := e.searchIndex(ctx, q, func(h core.Hit) bool {
+		if sizeLeft >= 0 {
+			if sizeLeft -= qcache.HitSize(&h); sizeLeft < 0 {
+				hits = nil
+			} else {
+				hits = append(hits, h)
+			}
+		}
+		if !report(h) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	// Cache only streams that completed on their own terms: a search the
+	// client stopped (or the context cancelled) is a prefix of unknown
+	// coverage.  A stream cut by MaxResults is cached as incomplete — it
+	// still answers any request for at most len(hits) results.
+	if err == nil && !stopped && sizeLeft >= 0 {
+		complete := q.Options.MaxResults == 0 || len(hits) < q.Options.MaxResults
+		e.cache.Put(key, &qcache.Entry{Hits: hits, Complete: complete})
+	}
+	return st, err
+}
+
+// replay streams a cached entry to report, honouring the query's MaxResults
+// and context exactly as a live search would.  No index work happens; the
+// per-query stats show only the replayed hit count.
+func (e *Engine) replay(ctx context.Context, q Query, entry *qcache.Entry, report func(core.Hit) bool) (core.Stats, error) {
+	var st core.Stats
+	n := 0
+	for i := range entry.Hits {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		if q.Options.MaxResults > 0 && n >= q.Options.MaxResults {
+			break
+		}
+		if !report(entry.Hits[i]) {
+			n++
+			break
+		}
+		n++
+	}
+	st.SequencesReported = int64(n)
+	var err error
+	if ctx != nil {
+		err = ctx.Err()
+	}
+	e.mu.Lock()
+	e.stats.Add(st)
+	e.queriesServed++
+	e.hitsReported += int64(n)
+	e.mu.Unlock()
+	if q.Options.Stats != nil {
+		q.Options.Stats.Add(st)
+	}
+	return st, err
+}
+
+// searchIndex runs the query on the sharded index (the cache-miss path; the
+// only path when the engine has no cache).  The context is observed both at
+// every hit callback and — via core's periodic poll — inside hit-less DP
+// stretches.
+func (e *Engine) searchIndex(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
 	var st core.Stats
 	opts := q.Options
 	opts.Stats = &st
 	opts.Scratch = nil // scratch is pooled inside the shard engine
+	opts.Context = ctx
 	var hits int64
 	err := e.sharded.Search(q.Residues, opts, func(h core.Hit) bool {
 		if ctx != nil && ctx.Err() != nil {
@@ -327,17 +452,34 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []Query) <-chan Result
 	go func() {
 		defer e.active.Done()
 		defer close(out)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.batchWorkers)
-		for i := range queries {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				e.runQuery(ctx, i, queries[i], out)
-			}(i)
+		// A fixed pool of batchWorkers range workers drains an index
+		// channel.  (A previous version spawned one goroutine per query
+		// BEFORE acquiring a semaphore slot, so a 100k-query batch burst
+		// 100k goroutines before the first search even started; the pool
+		// bounds in-flight goroutines at batchWorkers regardless of batch
+		// size.)
+		workers := e.batchWorkers
+		if workers > len(queries) {
+			workers = len(queries)
 		}
+		if workers < 1 {
+			workers = 1
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					e.runQuery(ctx, i, queries[i], out)
+				}
+			}()
+		}
+		for i := range queries {
+			idx <- i
+		}
+		close(idx)
 		wg.Wait()
 	}()
 	return out
@@ -347,6 +489,17 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []Query) <-chan Result
 // event to out.  Sends race the context so a cancelled consumer never blocks
 // a worker.
 func (e *Engine) runQuery(ctx context.Context, index int, q Query, out chan<- Result) {
+	// After cancellation, skip searcher setup entirely: emit the
+	// best-effort Done and let the batch drain fast (a cancelled 100k-query
+	// batch must not pay 100k searcher spin-ups just to unwind).
+	if ctx != nil && ctx.Err() != nil {
+		done := Result{QueryID: q.ID, Index: index, Done: true, Err: ctx.Err()}
+		select {
+		case out <- done:
+		default:
+		}
+		return
+	}
 	start := time.Now()
 	st, err := e.searchOne(ctx, q, func(h core.Hit) bool {
 		select {

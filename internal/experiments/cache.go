@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// CacheRow is one (duplicate-fraction, mode) cell of the cross-query result
+// cache experiment: the same repeated-query stream served by a warm engine
+// with the cache disabled versus enabled.
+type CacheRow struct {
+	// DupPercent is the share of the stream that repeats an earlier query
+	// (0 = every query unique).
+	DupPercent int
+	// Mode is "cache-off" or "cache-on".
+	Mode string
+	// Queries is the stream length; Unique how many distinct queries it holds.
+	Queries int
+	Unique  int
+	// QueryTime is mean wall-clock per query; QueriesPerSec the throughput.
+	QueryTime     time.Duration
+	QueriesPerSec float64
+	// Hits counts reported sequences across the stream (identical between
+	// modes by the cache's equivalence guarantee).
+	Hits int64
+	// CacheHits/CacheMisses/HitRate are the cache counters (cache-on only).
+	CacheHits   int64
+	CacheMisses int64
+	HitRate     float64
+	// Speedup is this row's QueriesPerSec over the cache-off row at the
+	// same duplicate fraction.
+	Speedup float64
+}
+
+// cacheStream builds a deterministic repeated-query stream: nUnique distinct
+// queries (each appearing at least once) padded with duplicates drawn
+// uniformly from the pool, shuffled.  The duplicate fraction of the result
+// is (len-nUnique)/len.
+func cacheStream(lab *Lab, length, nUnique int, rng *rand.Rand) []engine.Query {
+	pool := make([]engine.Query, nUnique)
+	for i := 0; i < nUnique; i++ {
+		q := lab.Queries[i%len(lab.Queries)]
+		pool[i] = engine.Query{
+			ID:       q.ID,
+			Residues: q.Residues,
+			Options: core.Options{
+				Scheme:   lab.Scheme,
+				MinScore: lab.minScoreFor(lab.Config.EValue, len(q.Residues)),
+			},
+		}
+	}
+	stream := make([]engine.Query, 0, length)
+	stream = append(stream, pool...)
+	for len(stream) < length {
+		stream = append(stream, pool[rng.Intn(nUnique)])
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	return stream
+}
+
+// Cache measures what the cross-query result cache buys as a function of the
+// stream's duplicate fraction: for each dupPercent it serves one shuffled
+// repeated-query stream through SubmitBatch on a warm engine, cache off then
+// on (fresh engines, so both start cold).  The achievable speedup is bounded
+// by 1/(unique fraction) — at 50% duplicates a perfect cache tops out at 2x
+// — so high-duplicate rows are where replay dominates.  cacheBytes <= 0
+// selects 32 MB.
+func Cache(lab *Lab, shards, shardWorkers, batchWorkers int, cacheBytes int64, dupPercents []int) ([]CacheRow, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = 32 << 20
+	}
+	if len(dupPercents) == 0 {
+		dupPercents = []int{0, 50, 80, 95}
+	}
+	ctx := context.Background()
+	var rows []CacheRow
+	for _, dup := range dupPercents {
+		if dup < 0 || dup > 99 {
+			return nil, fmt.Errorf("experiments: duplicate percent %d outside 0..99", dup)
+		}
+		// Size the stream so the unique pool fits the workload's distinct
+		// queries: length = unique * 100/(100-dup), capped at 10x the
+		// workload.
+		nUnique := len(lab.Queries)
+		length := nUnique * 100 / (100 - dup)
+		if maxLen := 10 * len(lab.Queries); length > maxLen {
+			length = maxLen
+			nUnique = length * (100 - dup) / 100
+			if nUnique < 1 {
+				nUnique = 1
+			}
+		}
+		rng := rand.New(rand.NewSource(lab.Config.Seed + int64(dup)))
+		stream := cacheStream(lab, length, nUnique, rng)
+
+		var offRow CacheRow
+		for _, mode := range []string{"cache-off", "cache-on"} {
+			opts := engine.Options{Shards: shards, ShardWorkers: shardWorkers, BatchWorkers: batchWorkers}
+			if mode == "cache-on" {
+				opts.CacheBytes = cacheBytes
+			}
+			eng, err := engine.New(lab.DB, opts)
+			if err != nil {
+				return nil, err
+			}
+			var hits int64
+			start := time.Now()
+			for r := range eng.SubmitBatch(ctx, stream) {
+				if r.Done {
+					if r.Err != nil {
+						eng.Close()
+						return nil, fmt.Errorf("experiments: cache %s dup=%d query %s: %w", mode, dup, r.QueryID, r.Err)
+					}
+					continue
+				}
+				hits++
+			}
+			elapsed := time.Since(start)
+			row := CacheRow{
+				DupPercent:    dup,
+				Mode:          mode,
+				Queries:       len(stream),
+				Unique:        nUnique,
+				QueryTime:     elapsed / time.Duration(len(stream)),
+				QueriesPerSec: float64(len(stream)) / elapsed.Seconds(),
+				Hits:          hits,
+			}
+			if cs := eng.Metrics().Cache; cs != nil {
+				row.CacheHits = cs.Hits
+				row.CacheMisses = cs.Misses
+				row.HitRate = cs.HitRate
+			}
+			if err := eng.Close(); err != nil {
+				return nil, err
+			}
+			if mode == "cache-off" {
+				offRow = row
+				row.Speedup = 1
+			} else {
+				row.Speedup = row.QueriesPerSec / offRow.QueriesPerSec
+				if row.Hits != offRow.Hits {
+					return nil, fmt.Errorf("experiments: cache-on reported %d hits at dup=%d, cache-off %d",
+						row.Hits, dup, offRow.Hits)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// CheckCacheHits fails when the cache-on rows of a duplicate-bearing stream
+// show a hit rate under floor (the CI smoke: repeated queries MUST hit).
+func CheckCacheHits(rows []CacheRow, floor float64) error {
+	checked := false
+	for _, r := range rows {
+		if r.Mode != "cache-on" || r.DupPercent == 0 {
+			continue
+		}
+		checked = true
+		if r.CacheHits == 0 {
+			return fmt.Errorf("experiments: dup=%d%% stream produced no cache hits", r.DupPercent)
+		}
+		if r.HitRate < floor {
+			return fmt.Errorf("experiments: dup=%d%% hit rate %.3f below floor %.3f", r.DupPercent, r.HitRate, floor)
+		}
+	}
+	if !checked {
+		return fmt.Errorf("experiments: no duplicate-bearing cache-on rows to check")
+	}
+	return nil
+}
+
+// RenderCache writes the cache experiment as a text table.
+func RenderCache(w io.Writer, rows []CacheRow) {
+	fmt.Fprintln(w, "Cross-query result cache — repeated-query stream, cache off vs on (same hits)")
+	fmt.Fprintf(w, "%-6s %-11s %-9s %-8s %-12s %-12s %-10s %-9s %-9s\n",
+		"dup%", "mode", "queries", "unique", "time/query", "queries/s", "hit-rate", "hits", "speedup")
+	for _, r := range rows {
+		hitRate := "-"
+		if r.Mode == "cache-on" {
+			hitRate = fmt.Sprintf("%.3f", r.HitRate)
+		}
+		fmt.Fprintf(w, "%-6d %-11s %-9d %-8d %-12s %-12.2f %-10s %-9d %-9.2f\n",
+			r.DupPercent, r.Mode, r.Queries, r.Unique, fmtDur(r.QueryTime), r.QueriesPerSec, hitRate, r.Hits, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// TestCacheExperiment runs the result-cache experiment on a tiny workload
+// and checks its structural invariants: off/on row pairs per duplicate
+// fraction, identical hit counts between modes (the cache's equivalence
+// guarantee), hits on duplicate-bearing streams, and hit rate tracking the
+// duplicate fraction.
+func TestCacheExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalResidues = 20_000
+	cfg.NumQueries = 6
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+
+	dups := []int{0, 50, 90}
+	rows, err := Cache(lab, 2, 0, 2, 8<<20, dups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(dups) {
+		t.Fatalf("got %d rows, want %d", len(rows), 2*len(dups))
+	}
+	for i, dup := range dups {
+		off, on := rows[2*i], rows[2*i+1]
+		if off.Mode != "cache-off" || on.Mode != "cache-on" || off.DupPercent != dup || on.DupPercent != dup {
+			t.Fatalf("row pair %d: %+v / %+v", i, off, on)
+		}
+		if off.Hits != on.Hits {
+			t.Fatalf("dup=%d: cache changed the hit count (%d vs %d)", dup, off.Hits, on.Hits)
+		}
+		if on.Queries != off.Queries || on.Queries <= 0 {
+			t.Fatalf("dup=%d: stream sizes differ: %+v / %+v", dup, off, on)
+		}
+		wantDup := on.Queries - on.Unique
+		if dup == 0 && wantDup != 0 {
+			t.Fatalf("dup=0 stream has %d duplicates", wantDup)
+		}
+		if dup > 0 {
+			if on.CacheHits == 0 {
+				t.Fatalf("dup=%d: no cache hits", dup)
+			}
+			// Every duplicate must have hit (sequential workers may vary
+			// single-flight accounting, but hits >= duplicates holds).
+			if on.CacheHits < int64(wantDup) {
+				t.Fatalf("dup=%d: %d cache hits for %d duplicates", dup, on.CacheHits, wantDup)
+			}
+		}
+	}
+	if err := CheckCacheHits(rows, 0.3); err != nil {
+		t.Fatalf("CheckCacheHits on a healthy run: %v", err)
+	}
+	if err := CheckCacheHits(rows, 1.5); err == nil {
+		t.Fatal("CheckCacheHits accepted an impossible floor")
+	}
+	if err := CheckCacheHits(rows[:2], 0.1); err == nil {
+		t.Fatal("CheckCacheHits passed with only the dup=0 rows")
+	}
+}

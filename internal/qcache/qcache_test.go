@@ -1,0 +1,178 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+func testKey(query string, minScore int) Key {
+	return NewKey([]byte(query), core.Options{
+		Scheme:   score.MustScheme(score.ByName("PAM30"), -10),
+		MinScore: minScore,
+	})
+}
+
+func testEntry(nHits int, complete bool) *Entry {
+	e := &Entry{Complete: complete}
+	for i := 0; i < nHits; i++ {
+		e.Hits = append(e.Hits, core.Hit{SeqIndex: i, SeqID: fmt.Sprintf("S%d", i), Score: 100 - i, Rank: i + 1})
+	}
+	return e
+}
+
+func TestKeyNormalization(t *testing.T) {
+	scheme := score.MustScheme(score.ByName("PAM30"), -10)
+	ka, err := score.Params(scheme.Matrix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st core.Stats
+	base := core.Options{Scheme: scheme, MinScore: 7, KA: &ka}
+	// MaxResults, Stats, Scratch and cancellation knobs must not split keys.
+	kaCopy := ka
+	same := core.Options{Scheme: scheme, MinScore: 7, KA: &kaCopy, MaxResults: 3, Stats: &st, CancelPollColumns: 8}
+	if NewKey([]byte("AC"), base) != NewKey([]byte("AC"), same) {
+		t.Fatal("result-equivalent options produced different keys")
+	}
+	// Everything result-affecting must split keys.
+	for name, other := range map[string]core.Options{
+		"min-score": {Scheme: scheme, MinScore: 8, KA: &ka},
+		"no-ka":     {Scheme: scheme, MinScore: 7},
+		"gap":       {Scheme: score.MustScheme(score.ByName("PAM30"), -11), MinScore: 7, KA: &ka},
+		"matrix":    {Scheme: score.MustScheme(score.ByName("BLOSUM62"), -10), MinScore: 7, KA: &ka},
+	} {
+		if NewKey([]byte("AC"), base) == NewKey([]byte("AC"), other) {
+			t.Fatalf("%s: result-affecting option did not change the key", name)
+		}
+	}
+	if NewKey([]byte("AC"), base) == NewKey([]byte("AD"), base) {
+		t.Fatal("different queries share a key")
+	}
+}
+
+func TestGetServesTruncationRules(t *testing.T) {
+	c := New(1 << 20)
+	complete := testKey("COMPLETE", 5)
+	c.Put(complete, testEntry(4, true))
+	truncated := testKey("TRUNCATED", 5)
+	c.Put(truncated, testEntry(4, false))
+
+	// A complete entry serves any k, including "all".
+	for _, k := range []int{0, 1, 4, 10} {
+		if _, ok := c.Get(complete, k); !ok {
+			t.Fatalf("complete entry refused maxResults=%d", k)
+		}
+	}
+	// A truncated 4-hit entry serves only 1..4.
+	for k, want := range map[int]bool{0: false, 1: true, 4: true, 5: false} {
+		if _, ok := c.Get(truncated, k); ok != want {
+			t.Fatalf("truncated entry Get(maxResults=%d) = %v, want %v", k, ok, want)
+		}
+	}
+	// Re-putting with a complete stream upgrades the entry.
+	c.Put(truncated, testEntry(6, true))
+	if e, ok := c.Get(truncated, 0); !ok || len(e.Hits) != 6 {
+		t.Fatalf("upgraded entry Get = (%v, %v)", e, ok)
+	}
+}
+
+func TestLRUEvictionBoundsBytes(t *testing.T) {
+	budget := int64(64 << 10)
+	c := New(budget)
+	for i := 0; i < 4096; i++ {
+		c.Put(testKey(fmt.Sprintf("Q%04d", i), 5), testEntry(8, true))
+	}
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("cache holds %d bytes over its %d budget", st.Bytes, st.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overfilling: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("eviction emptied the cache entirely: %+v", st)
+	}
+	// Oversized entries are refused outright rather than wiping the stripe.
+	big := testEntry(10000, true)
+	c.Put(testKey("HUGE", 5), big)
+	if _, ok := c.Get(testKey("HUGE", 5), 0); ok {
+		t.Fatal("an entry larger than the stripe budget was cached")
+	}
+}
+
+func TestLRUKeepsRecentlyUsed(t *testing.T) {
+	c := New(numShards * 2048) // tiny: a few entries per stripe
+	hot := testKey("HOT", 5)
+	c.Put(hot, testEntry(2, true))
+	for i := 0; i < 512; i++ {
+		if _, ok := c.Get(hot, 0); !ok {
+			t.Fatalf("hot entry evicted after %d inserts despite constant use", i)
+		}
+		c.Put(testKey(fmt.Sprintf("COLD%04d", i), 5), testEntry(2, true))
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New(1 << 20)
+	key := testKey("FLIGHT", 5)
+	leader, _ := c.Begin(key)
+	if !leader {
+		t.Fatal("first Begin is not the leader")
+	}
+	follower, done := c.Begin(key)
+	if follower {
+		t.Fatal("second Begin also elected leader")
+	}
+	select {
+	case <-done:
+		t.Fatal("waiter woke before the leader finished")
+	default:
+	}
+	c.End(key)
+	<-done // must be closed now
+	// After End, the next Begin elects a fresh leader.
+	leader2, _ := c.Begin(key)
+	if !leader2 {
+		t.Fatal("Begin after End did not elect a leader")
+	}
+	c.End(key)
+	if got := c.Stats().FlightWaits; got != 1 {
+		t.Fatalf("FlightWaits = %d, want 1", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := testKey(fmt.Sprintf("Q%d", (g*31+i)%64), 5)
+				if e, ok := c.Get(key, 0); ok {
+					if len(e.Hits) == 0 || e.Hits[0].Rank != 1 {
+						t.Errorf("corrupt entry %+v", e.Hits)
+						return
+					}
+					continue
+				}
+				if leader, done := c.Begin(key); leader {
+					c.Put(key, testEntry(3, true))
+					c.End(key)
+				} else {
+					<-done
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Insertions == 0 {
+		t.Fatalf("concurrent workload saw no cache traffic: %+v", st)
+	}
+}

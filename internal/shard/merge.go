@@ -8,10 +8,19 @@ import (
 )
 
 // merger performs the k-way, score-ordered online merge of per-shard hit
-// streams.  A buffered hit is released as soon as its score is >= the
-// frontier bound of every shard that is still running — including its own,
-// whose bound caps any hit it could still produce.  Bounds only decrease, so
-// the released stream is non-increasing in score.
+// streams.  A buffered hit is released as soon as its score is STRICTLY
+// above the frontier bound of every shard that is still running — including
+// its own, whose bound caps any hit it could still produce.  Bounds only
+// decrease, so the released stream is non-increasing in score.
+//
+// Strictness matters for determinism: with a >= release rule, a hit could be
+// released while another shard might still surface an EQUAL score, so the
+// interleaving of ties — and, under MaxResults truncation, the tie that
+// makes the cut — depended on goroutine timing.  Waiting until every
+// unfinished shard's bound is below the score gathers the complete tie set
+// in the pending heap first, and the heap then releases ties by global
+// sequence index, making the emitted (sequence, score) stream reproducible
+// run to run.
 //
 // With deduplication enabled (prefix-partitioned subtree sharding, where a
 // sequence's suffixes spread across shards), a released hit whose sequence
@@ -125,14 +134,15 @@ func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
 	return m.err
 }
 
-// emitReady releases every pending hit whose score is >= the bound of every
-// unfinished shard.  It returns false when the consumer stopped the stream.
+// emitReady releases every pending hit whose score is strictly above the
+// bound of every unfinished shard (so no equal-or-stronger hit can still
+// arrive).  It returns false when the consumer stopped the stream.
 func (m *merger) emitReady() bool {
 	for m.pending.Len() > 0 {
 		top := m.pending.hits[0]
 		for s := range m.bounds {
-			if !m.done[s] && m.bounds[s] > top.Score {
-				return true // a stronger hit may still arrive; wait
+			if !m.done[s] && m.bounds[s] >= top.Score {
+				return true // an equal or stronger hit may still arrive; wait
 			}
 		}
 		h := heap.Pop(&m.pending).(core.Hit)

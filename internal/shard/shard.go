@@ -20,15 +20,18 @@
 // order and additionally publishes a decreasing frontier bound — the f-value
 // of the node at the head of its priority queue, which caps every score the
 // shard can still report (core.SearchStream / core.SearchSeedsStream).  The
-// merger may therefore release a buffered hit as soon as its score is >=
-// every other shard's latest bound, which preserves the paper's online
+// merger releases a buffered hit as soon as its score is strictly above
+// every unfinished shard's latest bound, which preserves the paper's online
 // decreasing-score property end to end while keeping first-hit latency low:
 // no shard has to finish before the strongest hits start flowing.
 //
-// Hits with equal scores may interleave differently from run to run (the
-// order depends on which shard surfaces them first); the stream is always
-// non-increasing in score and always contains exactly the hits the
-// single-index search reports (same sequences, same scores).
+// The merged stream is reproducible run to run: equal-score ties are
+// released only after every shard that could still produce that score has
+// moved past it, in ascending global sequence index — so even a top-k
+// truncation (MaxResults) cuts the stream at the same hits every time.  (Tie
+// ORDER may still differ from the single-index search, which breaks ties by
+// subtree discovery; the hit multiset — same sequences, same scores — is
+// identical in all configurations.)
 package shard
 
 import (

@@ -38,6 +38,15 @@ type EngineOptions struct {
 	BatchWorkers int
 	// ResultBuffer is the capacity of batch result channels (default 64).
 	ResultBuffer int
+	// CacheBytes bounds the cross-query result cache: with a positive
+	// budget the engine stores every completed decreasing-score hit stream
+	// and replays it without touching the index when an identical query
+	// (same residues, scheme, MinScore, E-value statistics) arrives again;
+	// concurrent identical queries run the DP sweep once (single-flight).
+	// Indexes are immutable after construction, so entries never go stale;
+	// a size-bounded LRU evicts by recency.  Zero disables the cache; see
+	// Metrics().Cache for hit rates.
+	CacheBytes int64
 }
 
 // Engine is a warm, long-running OASIS query engine: the sharded suffix-tree
@@ -78,6 +87,7 @@ func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
 		ShardWorkers:      opts.ShardWorkers,
 		BatchWorkers:      opts.BatchWorkers,
 		ResultBuffer:      opts.ResultBuffer,
+		CacheBytes:        opts.CacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -143,10 +153,11 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // EngineMetrics is a point-in-time snapshot of an engine's resource usage:
-// pooled-scratch reuse (FreeListStats) and per-shard worker-pool queue
-// depths.  Unlike EngineStats (lifetime totals), metrics describe the
-// current load and are meant for capacity planning (cmd/oasis-serve exposes
-// them at /metrics).
+// pooled-scratch reuse (FreeListStats), per-shard worker-pool queue depths,
+// per-shard buffer-pool hit rates (disk-backed engines) and the cross-query
+// result-cache counters (engines built with CacheBytes).  Unlike EngineStats
+// (lifetime totals), metrics describe the current load and are meant for
+// capacity planning (cmd/oasis-serve exposes them at /metrics).
 type EngineMetrics = engine.Metrics
 
 // Metrics returns the engine's current resource-usage snapshot.

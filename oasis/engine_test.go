@@ -144,3 +144,62 @@ func TestEngineSubmitBatch(t *testing.T) {
 	}
 	cancel()
 }
+
+// TestEngineCacheBytes exercises the public cache plumbing: an engine built
+// with CacheBytes must replay identical queries byte-identically without
+// touching the index and expose the hit counters through Metrics.
+func TestEngineCacheBytes(t *testing.T) {
+	db := engineTestDB(t)
+	eng, err := oasis.NewEngine(db, oasis.EngineOptions{Shards: 2, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	scheme, err := oasis.NewScheme(oasis.MatrixByName("BLOSUM62"), -8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := oasis.Protein.MustEncode("DKDGDGTITTKE")
+	opts, err := oasis.NewSearchOptions(scheme, db, q, oasis.WithEValue(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams [2][]oasis.Hit
+	for i := range streams {
+		streams[i], err = eng.SearchAll(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(streams[0]) == 0 {
+		t.Fatal("query reported no hits")
+	}
+	if len(streams[0]) != len(streams[1]) {
+		t.Fatalf("replay changed the hit count: %d vs %d", len(streams[0]), len(streams[1]))
+	}
+	for i := range streams[0] {
+		if streams[0][i] != streams[1][i] {
+			t.Fatalf("hit %d differs between live run and replay:\n%+v\n%+v", i, streams[0][i], streams[1][i])
+		}
+	}
+	m := eng.Metrics()
+	if m.Cache == nil {
+		t.Fatal("CacheBytes engine exposes no cache metrics")
+	}
+	if m.Cache.Hits == 0 || m.Cache.Insertions == 0 || m.Cache.HitRate <= 0 {
+		t.Fatalf("cache metrics after a replayed query: %+v", *m.Cache)
+	}
+	// Replays do no index work: the engine-wide counters must not grow.
+	st1 := eng.Stats()
+	if _, err := eng.SearchAll(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.Stats()
+	if st2.Search.CellsComputed != st1.Search.CellsComputed {
+		t.Fatalf("replay touched the index: %d cells before, %d after",
+			st1.Search.CellsComputed, st2.Search.CellsComputed)
+	}
+	if st2.QueriesServed != st1.QueriesServed+1 {
+		t.Fatalf("replay not counted as a served query: %d -> %d", st1.QueriesServed, st2.QueriesServed)
+	}
+}
