@@ -312,6 +312,7 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 			}
 			if r.Mode == "disk" {
 				rec.Extra["pool_hit_ratio"] = r.HitRatio
+				rec.Extra["warm_open_ns"] = float64(r.WarmOpen)
 			}
 			report.Records = append(report.Records, rec)
 		}

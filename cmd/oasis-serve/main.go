@@ -87,8 +87,31 @@
 // cumulative with upper bounds in milliseconds and le_ms -1 marking the
 // unbounded bucket.
 //
+// With Accept: text/plain (the Prometheus scraper sends "text/plain;
+// version=0.0.4") or ?format=prometheus, /metrics renders the Prometheus text
+// exposition instead, including the fault-tolerance counters
+// degraded_queries_total, shard_quarantined, checksum_failures_total and
+// retries_total plus per-endpoint request_duration_seconds histograms.
+//
 // GET /healthz returns liveness plus the database shape; GET /stats returns
 // the engine's lifetime counters (queries, hits, merged work counters).
+//
+// # Deadlines, overload shedding and partial failure
+//
+// -query-timeout bounds each query's wall clock: a stream that outlives it is
+// cancelled and ends with an "error" event.  -admission-wait bounds how long
+// a request may sit in its admission queue; past it the server sheds the
+// request with HTTP 503 and a Retry-After header instead of letting queues
+// grow without bound.
+//
+// When a shard fails mid-query (I/O error, checksum corruption), the shard is
+// QUARANTINED rather than fatal: the stream completes from the surviving
+// shards and its "done" event carries "degraded":true with per-shard errors
+// under stats.shard_errors (mid-stream degradation is also flagged in the
+// X-Oasis-Partial trailer).  -strict fails such queries outright instead.
+// -allow-degraded extends the same policy to startup: an -index-dir whose
+// shard file(s) cannot be opened serves the surviving shards, every response
+// uses HTTP 206 and /healthz reports "degraded".
 //
 // Example:
 //
@@ -135,6 +158,10 @@ type serveFlags struct {
 	cacheMB      int64
 	admSlots     int
 	admQueue     int
+	admWait      time.Duration
+	queryTimeout time.Duration
+	strict       bool
+	allowDegr    bool
 	shutdownWait time.Duration
 }
 
@@ -156,6 +183,10 @@ func main() {
 	flag.Int64Var(&f.cacheMB, "cache", 32, "cross-query result cache size in MB (identical queries replay without touching the index; 0 disables)")
 	flag.IntVar(&f.admSlots, "admission-slots", 0, "concurrent search/batch requests across all clients (0 = 2x GOMAXPROCS); excess requests wait in per-client fair queues")
 	flag.IntVar(&f.admQueue, "admission-queue", 64, "waiting requests allowed per client before HTTP 429")
+	flag.DurationVar(&f.admWait, "admission-wait", 10*time.Second, "longest a request may wait for admission before HTTP 503 + Retry-After (0 = wait forever)")
+	flag.DurationVar(&f.queryTimeout, "query-timeout", 0, "per-query wall-clock budget; exceeded queries end with an error event (0 = no limit)")
+	flag.BoolVar(&f.strict, "strict", false, "fail queries outright when a shard fails instead of serving degraded results from the survivors")
+	flag.BoolVar(&f.allowDegr, "allow-degraded", false, "start serving even when shard files fail to open (with -index-dir): failed shards are quarantined and every query reports degraded")
 	flag.DurationVar(&f.shutdownWait, "shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 	if f.admSlots <= 0 {
@@ -179,13 +210,17 @@ func buildEngine(f serveFlags) (*oasis.Engine, string, error) {
 		}
 		log.Printf("opening sharded disk index %s ...", f.indexDir)
 		eng, err := oasis.OpenEngine(f.indexDir, oasis.EngineOptions{
-			PoolBytes:    f.poolMB << 20,
-			ShardWorkers: f.shardWorkers,
-			BatchWorkers: f.batchWorkers,
-			CacheBytes:   f.cacheMB << 20,
+			PoolBytes:     f.poolMB << 20,
+			ShardWorkers:  f.shardWorkers,
+			BatchWorkers:  f.batchWorkers,
+			CacheBytes:    f.cacheMB << 20,
+			AllowDegraded: f.allowDegr,
 		})
 		if err != nil {
 			return nil, "", err
+		}
+		for _, q := range eng.Standing() {
+			log.Printf("WARNING: shard %d quarantined at open: %s (serving degraded)", q.Shard, q.Err)
 		}
 		return eng, fmt.Sprintf("disk-backed (%s partition, <=%d MB pool per shard)", eng.Partition(), f.poolMB), nil
 	}
@@ -244,15 +279,19 @@ func run(f serveFlags) error {
 	log.Printf("warm engine ready: %d sequences (%d residues), %d shards %s, ready in %s",
 		eng.NumSequences(), eng.TotalResidues(), eng.NumShards(), mode, time.Since(build).Round(time.Millisecond))
 
+	handler := newServer(eng, serverConfig{
+		scheme:         scheme,
+		defaultEValue:  f.eValue,
+		maxBatch:       f.maxBatch,
+		admissionSlots: f.admSlots,
+		admissionQueue: f.admQueue,
+		admissionWait:  f.admWait,
+		queryTimeout:   f.queryTimeout,
+		strict:         f.strict,
+	})
 	srv := &http.Server{
-		Addr: f.addr,
-		Handler: newServer(eng, serverConfig{
-			scheme:         scheme,
-			defaultEValue:  f.eValue,
-			maxBatch:       f.maxBatch,
-			admissionSlots: f.admSlots,
-			admissionQueue: f.admQueue,
-		}),
+		Addr:              f.addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -270,6 +309,9 @@ func run(f serveFlags) error {
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", f.shutdownWait)
+	// Drain first: new search/batch requests are shed with 503 immediately,
+	// so the grace period below is spent finishing admitted streams.
+	handler.startDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.shutdownWait)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

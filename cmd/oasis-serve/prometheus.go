@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// wantsPrometheus reports whether a /metrics request asked for the Prometheus
+// text exposition format instead of the JSON snapshot: either explicitly via
+// ?format=prometheus, or through an Accept header preferring text/plain (the
+// Prometheus scraper sends "text/plain; version=0.0.4").
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "version=0.0.4")
+}
+
+// writePrometheus renders the /metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4).  The fault-tolerance counters —
+// degraded_queries_total, shard_quarantined, checksum_failures_total,
+// retries_total — are the alerting surface for partial-failure serving; the
+// rest mirrors the JSON snapshot (traffic, admission, per-endpoint latency).
+func (s *server) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.eng.Stats()
+	em := s.eng.Metrics()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("queries_served_total", "Queries served since process start.", st.QueriesServed)
+	counter("hits_reported_total", "Hits streamed to clients since process start.", st.HitsReported)
+	counter("degraded_queries_total",
+		"Queries that completed with partial results from surviving shards.",
+		em.Faults.DegradedQueries)
+	gauge("shard_quarantined",
+		"Shards quarantined: failed at open plus dropped mid-query over the process lifetime.",
+		em.Faults.ShardsQuarantined)
+	counter("checksum_failures_total",
+		"Disk index blocks that failed CRC32C verification (after one re-read).",
+		em.Faults.ChecksumFailures)
+	counter("retries_total",
+		"Transient disk read errors retried with backoff.",
+		em.Faults.ReadRetries)
+
+	if em.Cache != nil {
+		counter("cache_hits_total", "Result-cache hits.", em.Cache.Hits)
+		counter("cache_misses_total", "Result-cache misses.", em.Cache.Misses)
+	}
+	if s.adm != nil {
+		adm := s.adm.snapshot()
+		gauge("admission_active", "Requests currently holding an admission slot.", int64(adm.Active))
+		counter("admission_admitted_total", "Requests admitted.", adm.Admitted)
+		counter("admission_rejected_total", "Requests rejected with 429 (client queue full).", adm.Rejected)
+	}
+
+	labels := make([]string, 0, len(s.lat))
+	for label := range s.lat {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(w, "# HELP request_duration_seconds End-to-end request latency per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE request_duration_seconds histogram\n")
+	for _, label := range labels {
+		snap := s.lat[label].snapshot()
+		for _, b := range snap.Buckets {
+			le := "+Inf"
+			if b.LeMs >= 0 {
+				le = fmt.Sprintf("%g", b.LeMs/1e3)
+			}
+			fmt.Fprintf(w, "request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", label, le, b.Count)
+		}
+		fmt.Fprintf(w, "request_duration_seconds_sum{endpoint=%q} %g\n", label, snap.SumMs/1e3)
+		fmt.Fprintf(w, "request_duration_seconds_count{endpoint=%q} %d\n", label, snap.Count)
+	}
+}

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/oasis"
 )
 
@@ -27,6 +31,17 @@ type serverConfig struct {
 	// admissionQueue bounds each client's waiting queue; requests beyond it
 	// get HTTP 429.
 	admissionQueue int
+	// admissionWait bounds how long a request may sit in its admission queue
+	// before the server sheds it with HTTP 503 + Retry-After (0 = wait
+	// forever, bounded only by the client's patience).
+	admissionWait time.Duration
+	// queryTimeout is the per-query wall-clock budget: a search or batch
+	// whose stream outlives it is cancelled and its queries end with an
+	// "error" event (0 = no limit).
+	queryTimeout time.Duration
+	// strict fails a query outright when any shard fails, instead of
+	// completing a Degraded stream from the surviving shards.
+	strict bool
 }
 
 // searchRequest is the JSON body of POST /search and one element of the
@@ -59,9 +74,12 @@ type hitEvent struct {
 	SeqID   string  `json:"seq_id,omitempty"`
 	Score   int     `json:"score,omitempty"`
 	EValue  float64 `json:"evalue,omitempty"`
-	// Hits and ElapsedMs summarise the query on "done" events.
+	// Hits and ElapsedMs summarise the query on "done" events.  Degraded
+	// marks a stream that completed from surviving shards after one or more
+	// shards were quarantined; the per-shard errors are in Stats.ShardErrors.
 	Hits      int                `json:"hits,omitempty"`
 	ElapsedMs float64            `json:"elapsed_ms,omitempty"`
+	Degraded  bool               `json:"degraded,omitempty"`
 	Stats     *oasis.SearchStats `json:"stats,omitempty"`
 	Error     string             `json:"error,omitempty"`
 }
@@ -77,6 +95,9 @@ type server struct {
 	// adm is the per-client fair admission controller in front of the
 	// search/batch endpoints (nil when cfg.admissionSlots is 0).
 	adm *admission
+	// draining is flipped by startDrain during graceful shutdown: new
+	// search/batch requests are shed with 503 while in-flight streams finish.
+	draining atomic.Bool
 }
 
 // newServer builds the HTTP handler: build the engine once, serve many
@@ -120,12 +141,26 @@ func (s *server) handle(pattern, label string, h http.HandlerFunc) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// startDrain puts the server in shutdown drain mode: subsequent search/batch
+// requests get 503 + Retry-After immediately, while streams already admitted
+// run to completion under http.Server.Shutdown's grace period.
+func (s *server) startDrain() { s.draining.Store(true) }
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if len(s.eng.Standing()) > 0 {
+		status = "degraded"
+	}
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"shards":    s.eng.NumShards(),
-		"sequences": s.eng.NumSequences(),
-		"residues":  s.eng.TotalResidues(),
+		"status":             "ok",
+		"serving":            status,
+		"shards":             s.eng.NumShards(),
+		"shards_quarantined": len(s.eng.Standing()),
+		"sequences":          s.eng.NumSequences(),
+		"residues":           s.eng.TotalResidues(),
 	})
 }
 
@@ -137,7 +172,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // planning: searcher-scratch free-list reuse, per-shard worker-pool queue
 // depths, per-shard buffer-pool hit rates (disk-backed engines), and one
 // latency histogram per endpoint, alongside the lifetime traffic counters.
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.writePrometheus(w)
+		return
+	}
 	st := s.eng.Stats()
 	latency := make(map[string]latencySnapshot, len(s.lat))
 	for label, hist := range s.lat {
@@ -188,10 +227,23 @@ func clientKey(r *http.Request) string {
 // is saturated.  The returned release function must be deferred; ok=false
 // means the response has already been written.
 func (s *server) admit(w http.ResponseWriter, r *http.Request, cost int) (release func(), ok bool) {
+	if s.draining.Load() {
+		// Shutdown drain: shed new work immediately so in-flight streams can
+		// finish within the grace period.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return nil, false
+	}
 	if s.adm == nil {
 		return func() {}, true
 	}
-	release, err := s.adm.acquire(r.Context(), clientKey(r), cost)
+	ctx := r.Context()
+	if s.cfg.admissionWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.admissionWait, errAdmissionSaturated)
+		defer cancel()
+	}
+	release, err := s.adm.acquire(ctx, clientKey(r), cost)
 	switch {
 	case err == nil:
 		return release, true
@@ -200,10 +252,33 @@ func (s *server) admit(w http.ResponseWriter, r *http.Request, cost int) (releas
 		// admitting more would let it crowd out everyone else.
 		httpError(w, http.StatusTooManyRequests, err)
 		return nil, false
+	case context.Cause(ctx) == errAdmissionSaturated:
+		// 503: the request sat in its admission queue for the full wait
+		// budget — the server is saturated; shed load and tell the client
+		// when to come back instead of letting queues grow without bound.
+		w.Header().Set("Retry-After", retryAfter(s.cfg.admissionWait))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("saturated: not admitted within %s", s.cfg.admissionWait))
+		return nil, false
 	default:
 		// The client went away while queued; nothing useful to write.
 		return nil, false
 	}
+}
+
+// errAdmissionSaturated is the cancellation cause distinguishing an
+// admission-wait deadline (shed with 503) from the client going away.
+var errAdmissionSaturated = errors.New("admission wait deadline exceeded")
+
+// retryAfter renders a Retry-After header value (whole seconds, minimum 1)
+// from the admission wait budget: a client that backs off for about one more
+// wait window lands after the current queue has had a full cycle to drain.
+func retryAfter(wait time.Duration) string {
+	secs := int(wait / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // buildQuery validates one request and assembles the batch query for it.
@@ -230,6 +305,9 @@ func (s *server) buildQuery(req searchRequest, index int) (oasis.BatchQuery, err
 	if req.Top > 0 {
 		optFns = append(optFns, oasis.WithMaxResults(req.Top))
 	}
+	if s.cfg.strict {
+		optFns = append(optFns, oasis.WithStrictShards())
+	}
 	opts, err := oasis.NewSearchOptionsSized(s.cfg.scheme, s.eng.TotalResidues(), residues, optFns...)
 	if err != nil {
 		return oasis.BatchQuery{}, fmt.Errorf("query %d: %w", index, err)
@@ -244,6 +322,10 @@ func (s *server) buildQuery(req searchRequest, index int) (oasis.BatchQuery, err
 // handleSearch streams one query's hits as NDJSON in decreasing score order.
 // The request context cancels the search when the client disconnects.
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if err := faultpoint.Hit(faultpoint.SiteServeSearch, "search"); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
@@ -265,6 +347,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // handleBatch streams many queries' hits over one connection; events carry
 // query_id so the client can demultiplex.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if err := faultpoint.Hit(faultpoint.SiteServeSearch, "batch"); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
@@ -304,22 +390,41 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // streamBatch submits the batch to the warm engine and writes each event as
 // one NDJSON line, flushing per line so hits reach the client online.
 func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, batch []oasis.BatchQuery) {
+	ctx := r.Context()
+	if s.cfg.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.queryTimeout, errQueryTimeout)
+		defer cancel()
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
+	// 206-style partial marker, known before the stream starts: shards
+	// quarantined at open time degrade every response.
+	if len(s.eng.Standing()) > 0 && !s.cfg.strict {
+		w.WriteHeader(http.StatusPartialContent)
+	}
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	counts := make([]int, len(batch))
-	for res := range s.eng.SubmitBatch(r.Context(), batch) {
+	degraded := false
+	for res := range s.eng.SubmitBatch(ctx, batch) {
 		ev := hitEvent{QueryID: res.QueryID}
 		if res.Done {
 			ev.Type = "done"
 			ev.Hits = counts[res.Index]
 			ev.ElapsedMs = float64(res.Elapsed.Nanoseconds()) / 1e6
+			ev.Degraded = res.Stats.Degraded
+			if res.Stats.Degraded {
+				degraded = true
+			}
 			st := res.Stats
 			ev.Stats = &st
 			if res.Err != nil {
 				ev.Type = "error"
 				ev.Error = res.Err.Error()
+				if errors.Is(res.Err, context.DeadlineExceeded) && context.Cause(ctx) == errQueryTimeout {
+					ev.Error = fmt.Sprintf("query timeout %s exceeded", s.cfg.queryTimeout)
+				}
 			}
 		} else {
 			counts[res.Index]++
@@ -338,7 +443,15 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, batch []oas
 			flusher.Flush()
 		}
 	}
+	// 206-style partial marker for mid-stream degradation, delivered as an
+	// HTTP trailer since the status line is long gone by the time a shard
+	// fails (per-query detail is on the "done" events themselves).
+	w.Header().Set(http.TrailerPrefix+"X-Oasis-Partial", strconv.FormatBool(degraded))
 }
+
+// errQueryTimeout is the cancellation cause distinguishing the server-side
+// per-query deadline from a client disconnect.
+var errQueryTimeout = errors.New("per-query timeout exceeded")
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/faultpoint"
 )
 
 // FileID identifies a file registered with the pool.
@@ -143,7 +145,7 @@ func (h *Handle) Release() {
 func (p *Pool) Get(file FileID, pageNo int64) (*Handle, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	idx, err := p.frameForPageLocked(file, pageNo)
+	idx, err := p.frameForPageLocked(file, pageNo, true)
 	if err != nil {
 		return nil, err
 	}
@@ -152,21 +154,53 @@ func (p *Pool) Get(file FileID, pageNo int64) (*Handle, error) {
 	return &Handle{pool: p, frame: idx, Data: fr.data[:fr.size], PageNo: pageNo}, nil
 }
 
+// Prefetch loads pages [fromPage, fromPage+nPages) of the file into the pool
+// without pinning them and without counting toward hit-ratio statistics
+// (warm-up must not inflate the ratios experiments report).  It stops at the
+// end of the file or on the first read error and returns the number of pages
+// made resident; warm-up failures are deliberately non-fatal.
+func (p *Pool) Prefetch(file FileID, fromPage int64, nPages int) int {
+	loaded := 0
+	for i := 0; i < nPages; i++ {
+		p.mu.Lock()
+		b, ok := p.files[file]
+		if !ok || (fromPage+int64(i))*int64(p.pageSize) >= b.size {
+			p.mu.Unlock()
+			break
+		}
+		_, err := p.frameForPageLocked(file, fromPage+int64(i), false)
+		p.mu.Unlock()
+		if err != nil {
+			break
+		}
+		loaded++
+	}
+	return loaded
+}
+
 // frameForPageLocked returns the frame index holding the requested page,
 // loading it from the backing file if necessary.  The caller must hold the
-// mutex; the returned frame is not pinned.
-func (p *Pool) frameForPageLocked(file FileID, pageNo int64) (int, error) {
+// mutex; the returned frame is not pinned.  countStats is false for warm-up
+// prefetch, which must not distort the per-file hit-ratio statistics.
+func (p *Pool) frameForPageLocked(file FileID, pageNo int64, countStats bool) (int, error) {
 	b, ok := p.files[file]
 	if !ok {
 		return 0, fmt.Errorf("bufferpool: unknown file %d", file)
 	}
 	st := p.stats[file]
-	st.Requests++
+	if countStats {
+		st.Requests++
+	}
 	key := pageKey{file: file, page: pageNo}
 	if idx, ok := p.table[key]; ok {
-		st.Hits++
+		if countStats {
+			st.Hits++
+		}
 		p.frames[idx].referenced = true
 		return idx, nil
+	}
+	if err := faultpoint.Hit(faultpoint.SitePoolFill, b.name); err != nil {
+		return 0, fmt.Errorf("bufferpool: reading page %d of %q: %w", pageNo, b.name, err)
 	}
 	// Miss: pick a victim frame with CLOCK and load the page.
 	idx, err := p.evictLocked()
@@ -246,7 +280,7 @@ func (p *Pool) ReadAt(file FileID, buf []byte, off int64) error {
 func (p *Pool) readFromPage(file FileID, pageNo int64, inPage int, dst []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	idx, err := p.frameForPageLocked(file, pageNo)
+	idx, err := p.frameForPageLocked(file, pageNo, true)
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/score"
@@ -132,7 +133,7 @@ func TestContextPollingDoesNotChangeResults(t *testing.T) {
 			t.Fatalf("hit %d differs: %+v vs %+v", i, plain[i], polled[i])
 		}
 	}
-	if plainStats != polledStats {
+	if !reflect.DeepEqual(plainStats, polledStats) {
 		t.Fatalf("polling changed the work counters:\n plain: %+v\npolled: %+v", plainStats, polledStats)
 	}
 	// Disabling polling with a context set must also be honoured.

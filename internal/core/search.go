@@ -49,6 +49,11 @@ type Options struct {
 	// cancellation polls (0 selects DefaultCancelPollColumns; negative
 	// disables polling).  Smaller values cancel faster but poll more.
 	CancelPollColumns int
+	// StrictShards makes a sharded search fail outright when any shard
+	// fails, instead of quarantining the shard and completing a degraded
+	// stream from the survivors (see Stats.Degraded).  Single-index searches
+	// ignore it.
+	StrictShards bool
 }
 
 // DefaultCancelPollColumns is the default cancellation poll interval: one
@@ -102,6 +107,21 @@ type Stats struct {
 	MaxBandWidth int
 	// SequencesReported counts reported hits.
 	SequencesReported int64
+	// Degraded marks a sharded search that lost one or more shards and
+	// completed from the survivors: the hit stream is still in decreasing
+	// score order but covers only the surviving shards' sequences.
+	// ShardErrors carries the per-shard detail.  Options.StrictShards turns
+	// degradation into a search error instead.
+	Degraded    bool         `json:"degraded,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+}
+
+// ShardError describes one quarantined shard of a degraded search.
+type ShardError struct {
+	// Shard is the failed shard's index.
+	Shard int `json:"shard"`
+	// Err is the failure description.
+	Err string `json:"error"`
 }
 
 // Add merges other into s.
@@ -119,6 +139,10 @@ func (s *Stats) Add(other Stats) {
 	if other.MaxBandWidth > s.MaxBandWidth {
 		s.MaxBandWidth = other.MaxBandWidth
 	}
+	if other.Degraded {
+		s.Degraded = true
+	}
+	s.ShardErrors = append(s.ShardErrors, other.ShardErrors...)
 }
 
 // tag is the search-node state from the paper: viable nodes may still yield

@@ -26,6 +26,7 @@
 //	│ 40  numInternal u64        48  symbolsOff u64       │
 //	│ 56  internalOff u64        64  leavesOff  u64       │
 //	│ 72  catalogOff  u64        80  catalogLen u64       │
+//	│ 88  checksumOff u64 (v2; 0 in v1 files)             │
 //	├─────────────────────────────────────────────────────┤
 //	│ symbols: concatLen bytes, one symbol code per byte, │
 //	│          terminator after each sequence             │
@@ -40,7 +41,27 @@
 //	├─────────────────────────────────────────────────────┤
 //	│ catalog: u32 count, then per sequence               │
 //	│          u32 idLen, id bytes, u64 length            │
+//	├─────────────────────────────────────────────────────┤
+//	│ checksums (v2): one u32 CRC32C (Castagnoli) per     │
+//	│   blockSize-byte block of [0, checksumOff), in      │
+//	│   block order, followed by one u32 CRC32C of the    │
+//	│   table bytes themselves                            │
 //	└─────────────────────────────────────────────────────┘
+//
+// # Checksums (format v2)
+//
+// Version 2 appends a checksum region after the catalog.  checksumOff (header
+// byte 88) is block-aligned, so [0, checksumOff) is a whole number of
+// blockSize-byte blocks; the region holds checksumOff/blockSize little-endian
+// u32 CRC32C values — one per block, covering header, symbols, internal,
+// leaves and catalog including their padding — then a final u32 CRC32C of the
+// table itself (so table corruption is distinguishable from data corruption
+// without a circular header dependency).  The writer stamps checksums from a
+// read-back of the finished file; the reader verifies every block as it is
+// read, i.e. on every buffer-pool fill, retrying transient read errors with
+// capped exponential backoff first (see checksum.go).  Version 1 files have
+// no table (checksumOff = 0) and still open, with ChecksumsEnabled reporting
+// false ("checksums unavailable").
 //
 // Tagged pointers pack a leaf/internal discriminator into the high bit
 // (ptrLeafBit): leaf targets are addressed by suffix position, internal
@@ -61,13 +82,14 @@
 // own buffer pool so shard parallelism also parallelises page I/O):
 //
 //	{
-//	  "version": 1,
+//	  "version": 2,               // v1 manifests (no "checksums") still open
 //	  "partition": "sequence" | "prefix",
 //	  "shards": 4,
 //	  "alphabet": "protein" | "dna",
 //	  "block_size": 2048,
 //	  "num_sequences": 117,          // whole logical database
 //	  "total_residues": 29076,
+//	  "checksums": true,             // v2: shard files carry CRC32C tables
 //	  "shard_files": ["shard-0.oasis", ...],
 //	  // partition=sequence: one file per shard over a disjoint sequence
 //	  // subset, with shard-local -> global index maps
@@ -90,8 +112,12 @@ import (
 const (
 	// Magic identifies an OASIS index file.
 	Magic = "OASISIDX"
-	// Version is the current format version.
-	Version = 1
+	// Version is the current format version: 2 adds the per-block CRC32C
+	// checksum region (see the package comment).
+	Version = 2
+	// versionNoChecksums is the legacy format without a checksum region;
+	// still readable, reported via Index.ChecksumsEnabled.
+	versionNoChecksums = 1
 	// DefaultBlockSize matches the paper's 2 KB disk blocks.
 	DefaultBlockSize = 2048
 	// internalRecordSize is the size of an internal-node record in bytes.
@@ -130,6 +156,7 @@ type header struct {
 	leavesOff    uint64
 	catalogOff   uint64
 	catalogLen   uint64
+	checksumOff  uint64 // 0 in v1 files: no checksum region
 }
 
 func (h *header) encode() []byte {
@@ -147,6 +174,7 @@ func (h *header) encode() []byte {
 	le.PutUint64(buf[64:], h.leavesOff)
 	le.PutUint64(buf[72:], h.catalogOff)
 	le.PutUint64(buf[80:], h.catalogLen)
+	le.PutUint64(buf[88:], h.checksumOff)
 	return buf
 }
 
@@ -171,7 +199,13 @@ func decodeHeader(buf []byte) (*header, error) {
 		catalogOff:   le.Uint64(buf[72:]),
 		catalogLen:   le.Uint64(buf[80:]),
 	}
-	if h.version != Version {
+	switch h.version {
+	case Version:
+		h.checksumOff = le.Uint64(buf[88:])
+	case versionNoChecksums:
+		// Legacy file: readable, but no checksum region to verify against.
+		h.checksumOff = 0
+	default:
 		return nil, fmt.Errorf("diskst: unsupported version %d", h.version)
 	}
 	if h.blockSize == 0 {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bufferpool"
+	"repro/internal/core"
 	"repro/internal/seq"
 	"repro/internal/suffixtree"
 )
@@ -15,8 +16,10 @@ import (
 // directory.
 const ManifestName = "manifest.json"
 
-// ManifestVersion is the current manifest schema version.
-const ManifestVersion = 1
+// ManifestVersion is the current manifest schema version: 2 records whether
+// the shard files carry per-block checksums.  Version 1 manifests (and their
+// checksum-less shard files) still open.
+const ManifestVersion = 2
 
 // Partition-mode names used in the manifest (string-typed so the manifest
 // stays self-describing without importing the shard package).
@@ -56,11 +59,14 @@ type Manifest struct {
 	// PrefixAssignment (prefix mode) is the suffix-prefix -> shard owner
 	// tables computed at build time.
 	PrefixAssignment *seq.PrefixAssignment `json:"prefix_assignment,omitempty"`
+	// Checksums records that every shard file carries a v2 per-block CRC32C
+	// table (false for v1 manifests: checksums unavailable).
+	Checksums bool `json:"checksums,omitempty"`
 }
 
 // Validate checks the manifest's internal consistency.
 func (m *Manifest) Validate() error {
-	if m.Version != ManifestVersion {
+	if m.Version < 1 || m.Version > ManifestVersion {
 		return fmt.Errorf("diskst: unsupported manifest version %d", m.Version)
 	}
 	if m.Shards < 1 {
@@ -168,6 +174,7 @@ func BuildSharded(dir string, db *seq.Database, opts ShardedBuildOptions) (*Mani
 	}
 	m := &Manifest{
 		Version:       ManifestVersion,
+		Checksums:     true,
 		Alphabet:      alphabet,
 		BlockSize:     blockSize,
 		NumSequences:  db.NumSequences(),
@@ -225,7 +232,24 @@ type OpenOptions struct {
 	// (default 64 MB).  Separate pools mean shard searches never thrash each
 	// other's cache and page I/O parallelises across shards.
 	PoolBytesPerShard int64
+	// WarmupPages is how many near-root internal-node pages each shard
+	// prefetches into its pool at open time, cutting the cold-open penalty
+	// of the first queries (0 selects DefaultWarmupPages; negative disables
+	// warm-up).  Prefetched pages do not count toward hit-ratio statistics.
+	WarmupPages int
+	// AllowDegraded opens a sequence-partitioned directory even when some
+	// shard files fail to open (corrupt, truncated, missing): the failed
+	// shards are quarantined (nil Indexes entries, detail in Quarantined)
+	// and searches complete from the survivors with Degraded set.  Opening
+	// still fails when every shard is unusable, or in prefix mode (all
+	// shards share one file, so there are no survivors).
+	AllowDegraded bool
 }
+
+// DefaultWarmupPages is the per-shard warm-up prefetch depth used when
+// OpenOptions does not set one: 64 pages of BFS-ordered internal nodes cover
+// the near-root levels every query traverses.
+const DefaultWarmupPages = 64
 
 // DefaultPoolBytesPerShard is the per-shard buffer-pool capacity used when
 // OpenOptions does not set one.
@@ -251,6 +275,10 @@ type Sharded struct {
 	FrontierPool *bufferpool.Pool
 	// Prefixes is the rebuilt prefix assignment (prefix mode only).
 	Prefixes *seq.PrefixPartition
+	// Quarantined lists shards whose files failed to open under
+	// OpenOptions.AllowDegraded; their Indexes/Pools entries are nil and
+	// every search over this directory is degraded from the start.
+	Quarantined []core.ShardError
 }
 
 // OpenSharded opens every shard of the index directory written by
@@ -294,6 +322,15 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 			idx.Close()
 			return nil, nil, fmt.Errorf("file block size %d, manifest says %d", idx.BlockSize(), m.BlockSize)
 		}
+		// Warm-up: prefetch the near-root internal pages (BFS order puts the
+		// root's vicinity first) so the first queries do not pay a cold pool.
+		if opts.WarmupPages >= 0 {
+			pages := opts.WarmupPages
+			if pages == 0 {
+				pages = DefaultWarmupPages
+			}
+			idx.WarmUp(pages)
+		}
 		return idx, pool, nil
 	}
 	fail := func(err error) (*Sharded, error) {
@@ -308,10 +345,23 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 		}
 		idx, pool, err := openOne(name)
 		if err != nil {
-			return fail(fmt.Errorf("diskst: opening shard %d (%s): %w", i, name, err))
+			err = fmt.Errorf("diskst: opening shard %d (%s): %w", i, name, err)
+			// In sequence mode each shard's file is independent, so a bad
+			// shard can be quarantined and the rest served; in prefix mode
+			// every shard reads the one shared file — no survivors.
+			if opts.AllowDegraded && m.Partition == PartitionSequence && m.Shards > 1 {
+				s.Indexes = append(s.Indexes, nil)
+				s.Pools = append(s.Pools, nil)
+				s.Quarantined = append(s.Quarantined, core.ShardError{Shard: i, Err: err.Error()})
+				continue
+			}
+			return fail(err)
 		}
 		s.Indexes = append(s.Indexes, idx)
 		s.Pools = append(s.Pools, pool)
+	}
+	if len(s.Quarantined) == m.Shards {
+		return fail(fmt.Errorf("diskst: every shard of %s failed to open; first: %s", dir, s.Quarantined[0].Err))
 	}
 	if m.Partition == PartitionPrefix {
 		s.Prefixes, err = seq.PrefixPartitionFromAssignment(*m.PrefixAssignment)
@@ -328,21 +378,24 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 			}
 		}
 	}
-	// Cross-check the manifest's totals against the shard files it names.
-	var total int64
-	numSeqs := 0
-	for _, idx := range s.Indexes {
-		if m.Partition == PartitionPrefix {
-			total = idx.Catalog().TotalResidues()
-			numSeqs = idx.Catalog().NumSequences()
-			break
+	// Cross-check the manifest's totals against the shard files it names
+	// (meaningless when shards are quarantined: survivors cover less).
+	if len(s.Quarantined) == 0 {
+		var total int64
+		numSeqs := 0
+		for _, idx := range s.Indexes {
+			if m.Partition == PartitionPrefix {
+				total = idx.Catalog().TotalResidues()
+				numSeqs = idx.Catalog().NumSequences()
+				break
+			}
+			total += idx.Catalog().TotalResidues()
+			numSeqs += idx.Catalog().NumSequences()
 		}
-		total += idx.Catalog().TotalResidues()
-		numSeqs += idx.Catalog().NumSequences()
-	}
-	if total != m.TotalResidues || numSeqs != m.NumSequences {
-		return fail(fmt.Errorf("diskst: shard files hold %d sequences / %d residues, manifest says %d / %d",
-			numSeqs, total, m.NumSequences, m.TotalResidues))
+		if total != m.TotalResidues || numSeqs != m.NumSequences {
+			return fail(fmt.Errorf("diskst: shard files hold %d sequences / %d residues, manifest says %d / %d",
+				numSeqs, total, m.NumSequences, m.TotalResidues))
+		}
 	}
 	return s, nil
 }
@@ -383,6 +436,9 @@ func (s *Sharded) PoolStats() []PoolStats {
 		out = append(out, poolStatsFor(-1, s.Frontier))
 	}
 	for i, idx := range s.Indexes {
+		if idx == nil { // quarantined shard
+			continue
+		}
 		out = append(out, poolStatsFor(i, idx))
 	}
 	return out

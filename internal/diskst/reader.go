@@ -20,6 +20,7 @@ import (
 type Index struct {
 	path string
 	file *os.File
+	vr   *verifyingReader
 	pool *bufferpool.Pool
 	hdr  *header
 
@@ -43,25 +44,51 @@ func Open(path string, pool *bufferpool.Pool) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// All reads — including the header and catalog here, and every later
+	// buffer-pool fill — go through the verifying reader: transient errors
+	// are retried, and once the v2 checksum table is loaded every block is
+	// CRC-verified.
+	vr := &verifyingReader{f: f, path: path}
 	hdrBuf := make([]byte, headerSize)
-	if _, err := io.ReadFull(f, hdrBuf); err != nil {
+	if _, err := vr.ReadAt(hdrBuf, 0); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("diskst: reading header: %w", err)
+		return nil, &OpenError{Path: path, Offset: 0, Err: fmt.Errorf("reading header: %w", err)}
 	}
 	hdr, err := decodeHeader(hdrBuf)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, &OpenError{Path: path, Offset: 0, Err: err}
+	}
+	if hdr.checksumOff != 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, &OpenError{Path: path, Offset: 0, Err: err}
+		}
+		sums, err := loadChecksumTable(vr, hdr, fi.Size())
+		if err != nil {
+			f.Close()
+			return nil, &OpenError{Path: path, Offset: int64(hdr.checksumOff), Err: err}
+		}
+		vr.sums = sums
+		vr.blockSize = int64(hdr.blockSize)
+		vr.limit = int64(hdr.checksumOff)
+		// Re-read the header block through the now-armed verifier so header
+		// corruption that still decodes is caught at open time.
+		if _, err := vr.ReadAt(hdrBuf, 0); err != nil {
+			f.Close()
+			return nil, &OpenError{Path: path, Offset: 0, Err: err}
+		}
 	}
 	catBuf := make([]byte, hdr.catalogLen)
-	if _, err := f.ReadAt(catBuf, int64(hdr.catalogOff)); err != nil {
+	if _, err := vr.ReadAt(catBuf, int64(hdr.catalogOff)); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("diskst: reading catalog: %w", err)
+		return nil, &OpenError{Path: path, Offset: int64(hdr.catalogOff), Err: fmt.Errorf("reading catalog: %w", err)}
 	}
 	ids, lens, err := decodeCatalog(catBuf)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, &OpenError{Path: path, Offset: int64(hdr.catalogOff), Err: err}
 	}
 	if uint64(len(ids)) != hdr.numSequences {
 		f.Close()
@@ -70,6 +97,7 @@ func Open(path string, pool *bufferpool.Pool) (*Index, error) {
 	idx := &Index{
 		path:     path,
 		file:     f,
+		vr:       vr,
 		pool:     pool,
 		hdr:      hdr,
 		alphabet: seq.Protein,
@@ -93,10 +121,24 @@ func Open(path string, pool *bufferpool.Pool) (*Index, error) {
 	symbolsLen := int64(hdr.concatLen)
 	internalLen := int64(hdr.numInternal) * internalRecordSize
 	leavesLen := int64(hdr.concatLen) * leafRecordSize
-	idx.symbolsFile = pool.Register(path+"#symbols", io.NewSectionReader(f, int64(hdr.symbolsOff), symbolsLen), symbolsLen)
-	idx.internalFile = pool.Register(path+"#internal", io.NewSectionReader(f, int64(hdr.internalOff), internalLen), internalLen)
-	idx.leavesFile = pool.Register(path+"#leaves", io.NewSectionReader(f, int64(hdr.leavesOff), leavesLen), leavesLen)
+	idx.symbolsFile = pool.Register(path+"#symbols", io.NewSectionReader(vr, int64(hdr.symbolsOff), symbolsLen), symbolsLen)
+	idx.internalFile = pool.Register(path+"#internal", io.NewSectionReader(vr, int64(hdr.internalOff), internalLen), internalLen)
+	idx.leavesFile = pool.Register(path+"#leaves", io.NewSectionReader(vr, int64(hdr.leavesOff), leavesLen), leavesLen)
 	return idx, nil
+}
+
+// ChecksumsEnabled reports whether the index file carries a v2 per-block
+// CRC32C table the reader verifies against; false means a v1 file opened in
+// compatibility mode ("checksums unavailable").
+func (x *Index) ChecksumsEnabled() bool { return x.vr.sums != nil }
+
+// WarmUp prefetches up to nPages pages of the internal-node region into the
+// buffer pool.  Internal nodes are laid out in BFS order, so the first pages
+// hold the near-root levels every search traverses; prefetching them removes
+// the cold-open penalty of the first queries.  Returns the number of pages
+// made resident (best-effort; prefetch failures surface on first real use).
+func (x *Index) WarmUp(nPages int) int {
+	return x.pool.Prefetch(x.internalFile, 0, nPages)
 }
 
 // Close releases the underlying file.  Pages already cached in the buffer

@@ -40,6 +40,7 @@ type BuildStats struct {
 	InternalBytes  int64
 	LeafBytes      int64
 	CatalogBytes   int64
+	ChecksumBytes  int64
 	FileBytes      int64
 	BytesPerSymbol float64
 }
@@ -98,6 +99,10 @@ func Write(path string, tree *suffixtree.Tree, opts WriteOptions) (*BuildStats, 
 	leavesLen := int64(len(concat)) * leafRecordSize
 	catalogOff := alignUp(leavesOff+leavesLen, int64(blockSize))
 	catalog := encodeCatalog(db)
+	// The checksum region starts on the block boundary after the catalog, so
+	// [0, checksumOff) is a whole number of blocks and the offset is known
+	// before any data is written (no header rewrite needed).
+	checksumOff := alignUp(catalogOff+int64(len(catalog)), int64(blockSize))
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -122,6 +127,7 @@ func Write(path string, tree *suffixtree.Tree, opts WriteOptions) (*BuildStats, 
 		leavesOff:    uint64(leavesOff),
 		catalogOff:   uint64(catalogOff),
 		catalogLen:   uint64(len(catalog)),
+		checksumOff:  uint64(checksumOff),
 	}
 	written := int64(0)
 	writeBytes := func(b []byte) error {
@@ -180,6 +186,22 @@ func Write(path string, tree *suffixtree.Tree, opts WriteOptions) (*BuildStats, 
 	if err := writeBytes(catalog); err != nil {
 		return nil, err
 	}
+	if err := pad(checksumOff); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	// Stamp the checksum table from a read-back of the finished file, so the
+	// CRCs cover exactly the bytes that reached the OS — one CRC32C per
+	// block of [0, checksumOff), then a CRC32C of the table itself.
+	table, err := checksumFile(f, checksumOff, int64(blockSize))
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBytes(table); err != nil {
+		return nil, err
+	}
 	if err := w.Flush(); err != nil {
 		return nil, err
 	}
@@ -197,6 +219,7 @@ func Write(path string, tree *suffixtree.Tree, opts WriteOptions) (*BuildStats, 
 		InternalBytes: internalLen,
 		LeafBytes:     leavesLen,
 		CatalogBytes:  int64(len(catalog)),
+		ChecksumBytes: int64(len(table)),
 		FileBytes:     written,
 	}
 	if db.TotalResidues() > 0 {

@@ -67,6 +67,15 @@ type Options struct {
 	// (default 64).  A larger buffer decouples slow consumers from the
 	// search workers.
 	ResultBuffer int
+	// AllowDegraded admits an IndexDir whose shard file(s) fail to open:
+	// the failed shards are quarantined at open time and every query reports
+	// Degraded with the per-shard errors instead of the engine refusing to
+	// start (sequence-partitioned directories only).
+	AllowDegraded bool
+	// WarmupPages controls open-time buffer-pool warm-up per disk shard:
+	// 0 pre-faults diskst.DefaultWarmupPages near-root pages, negative
+	// disables warm-up.
+	WarmupPages int
 	// CacheBytes bounds the cross-query result cache (internal/qcache): a
 	// positive budget makes the engine store every completed decreasing-score
 	// hit stream and replay it — without touching the index — when an
@@ -127,11 +136,12 @@ type Engine struct {
 	// zero); it also owns the single-flight table for concurrent duplicates.
 	cache *qcache.Cache
 
-	mu            sync.Mutex
-	stats         core.Stats
-	queriesServed int64
-	hitsReported  int64
-	closed        bool
+	mu              sync.Mutex
+	stats           core.Stats
+	queriesServed   int64
+	hitsReported    int64
+	degradedQueries int64
+	closed          bool
 	// active tracks in-flight work; begin() only Adds under mu while the
 	// engine is open, so Close's Wait cannot race a starting submission.
 	active sync.WaitGroup
@@ -154,6 +164,8 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 		sharded, err = shard.OpenDiskEngine(opts.IndexDir, shard.DiskOptions{
 			Workers:           opts.ShardWorkers,
 			PoolBytesPerShard: opts.PoolBytes,
+			AllowDegraded:     opts.AllowDegraded,
+			WarmupPages:       opts.WarmupPages,
 		})
 	} else {
 		if db == nil {
@@ -248,6 +260,24 @@ type Metrics struct {
 	// Cache holds the cross-query result cache counters (nil when the
 	// engine was built without Options.CacheBytes).
 	Cache *qcache.Stats `json:"cache,omitempty"`
+	// Faults holds the engine's fault-tolerance counters.
+	Faults FaultMetrics `json:"faults"`
+}
+
+// FaultMetrics counts failures survived (or surfaced) since process start.
+type FaultMetrics struct {
+	// DegradedQueries is how many queries completed with Stats.Degraded set
+	// (partial results from surviving shards).
+	DegradedQueries int64 `json:"degraded_queries"`
+	// ShardsQuarantined is how many shards are currently quarantined: shards
+	// dropped mid-query over the engine's lifetime plus shards quarantined at
+	// open time.
+	ShardsQuarantined int64 `json:"shards_quarantined"`
+	// ChecksumFailures and ReadRetries are process-wide diskst fault
+	// counters: blocks that failed CRC32C verification (after the one
+	// re-read) and transient read errors retried with backoff.
+	ChecksumFailures int64 `json:"checksum_failures"`
+	ReadRetries      int64 `json:"read_retries"`
 }
 
 // Metrics returns a point-in-time snapshot of the engine's resource usage.
@@ -260,8 +290,19 @@ func (e *Engine) Metrics() Metrics {
 		cs := e.cache.Stats()
 		m.Cache = &cs
 	}
+	fc := diskst.Counters()
+	e.mu.Lock()
+	m.Faults.DegradedQueries = e.degradedQueries
+	e.mu.Unlock()
+	m.Faults.ShardsQuarantined = e.sharded.Quarantines() + int64(len(e.sharded.Standing()))
+	m.Faults.ChecksumFailures = fc.ChecksumFailures
+	m.Faults.ReadRetries = fc.ReadRetries
 	return m
 }
+
+// Standing returns the shards quarantined when the engine opened (nil for a
+// healthy engine).
+func (e *Engine) Standing() []core.ShardError { return e.sharded.Standing() }
 
 // begin registers one unit of in-flight work, failing when the engine is
 // closed.  The counter increment happens under the same lock that Close uses
@@ -353,8 +394,10 @@ func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) b
 	// Cache only streams that completed on their own terms: a search the
 	// client stopped (or the context cancelled) is a prefix of unknown
 	// coverage.  A stream cut by MaxResults is cached as incomplete — it
-	// still answers any request for at most len(hits) results.
-	if err == nil && !stopped && sizeLeft >= 0 {
+	// still answers any request for at most len(hits) results.  A degraded
+	// stream is never cached: replaying it would keep serving partial
+	// results after the fault has cleared.
+	if err == nil && !stopped && sizeLeft >= 0 && !st.Degraded {
 		complete := q.Options.MaxResults == 0 || len(hits) < q.Options.MaxResults
 		e.cache.Put(key, &qcache.Entry{Hits: hits, Complete: complete})
 	}
@@ -421,6 +464,9 @@ func (e *Engine) searchIndex(ctx context.Context, q Query, report func(core.Hit)
 	e.stats.Add(st)
 	e.queriesServed++
 	e.hitsReported += hits
+	if st.Degraded {
+		e.degradedQueries++
+	}
 	e.mu.Unlock()
 	if q.Options.Stats != nil {
 		q.Options.Stats.Add(st)

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/score"
 )
 
@@ -215,6 +216,12 @@ func New(maxBytes int64) *Cache {
 // request for maxResults hits (see Entry.Serves), marking it most recently
 // used.  The returned entry is shared and must be treated as immutable.
 func (c *Cache) Get(key Key, maxResults int) (*Entry, bool) {
+	// An injected cache fault degrades to a miss: the query falls through to
+	// the index, which is always correct (just slower).
+	if faultpoint.Hit(faultpoint.SiteCacheGet, "get") != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
 	sh := &c.shards[key.shardIndex()]
 	sh.mu.Lock()
 	el, ok := sh.byKey[key]

@@ -24,11 +24,23 @@ type unionCatalog struct {
 }
 
 // newUnionCatalog stitches the shard catalogs together under the global maps,
-// verifying that the maps cover every global index exactly once.
+// verifying that no global index is covered twice.  A degraded engine (some
+// shards quarantined at open time) passes only the surviving shards, so the
+// global index space may have holes: those entries keep the original global
+// numbering but answer metadata lookups with zero values (owner -1).
 func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, error) {
 	n := 0
 	for _, g := range globals {
 		n += len(g)
+	}
+	// Quarantined shards leave holes: the surviving maps keep their original
+	// global numbering, so the index space extends to the largest index seen.
+	for _, g := range globals {
+		for _, gi := range g {
+			if gi+1 > n {
+				n = gi + 1
+			}
+		}
 	}
 	if n == 0 {
 		return nil, fmt.Errorf("shard: index set covers no sequences")
@@ -38,7 +50,9 @@ func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, erro
 		owner: make([]int, n),
 		local: make([]int, n),
 	}
-	seen := make([]bool, n)
+	for gi := range u.owner {
+		u.owner[gi] = -1
+	}
 	for s, g := range globals {
 		u.cats[s] = indexes[s].Catalog()
 		if u.cats[s].NumSequences() != len(g) {
@@ -46,13 +60,12 @@ func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, erro
 				s, u.cats[s].NumSequences(), len(g))
 		}
 		for i, gi := range g {
-			if gi < 0 || gi >= n {
-				return nil, fmt.Errorf("shard %d: global index %d out of range [0,%d)", s, gi, n)
+			if gi < 0 {
+				return nil, fmt.Errorf("shard %d: negative global index %d", s, gi)
 			}
-			if seen[gi] {
+			if u.owner[gi] >= 0 {
 				return nil, fmt.Errorf("shard: global sequence %d assigned to more than one shard", gi)
 			}
-			seen[gi] = true
 			u.owner[gi] = s
 			u.local[gi] = i
 		}
@@ -61,7 +74,10 @@ func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, erro
 	u.starts = make([]int64, n)
 	for gi := 0; gi < n; gi++ {
 		u.starts[gi] = u.concat
-		l := int64(u.cats[u.owner[gi]].SequenceLength(u.local[gi]))
+		l := int64(0)
+		if u.owner[gi] >= 0 {
+			l = int64(u.cats[u.owner[gi]].SequenceLength(u.local[gi]))
+		}
 		u.concat += l + 1 // terminator
 		u.total += l
 	}
@@ -71,9 +87,15 @@ func newUnionCatalog(indexes []core.Index, globals [][]int) (*unionCatalog, erro
 func (u *unionCatalog) Alphabet() *seq.Alphabet { return u.alphabet }
 func (u *unionCatalog) NumSequences() int       { return len(u.owner) }
 func (u *unionCatalog) SequenceID(i int) string {
+	if u.owner[i] < 0 {
+		return "" // sequence lost with a quarantined shard
+	}
 	return u.cats[u.owner[i]].SequenceID(u.local[i])
 }
 func (u *unionCatalog) SequenceLength(i int) int {
+	if u.owner[i] < 0 {
+		return 0
+	}
 	return u.cats[u.owner[i]].SequenceLength(u.local[i])
 }
 func (u *unionCatalog) TotalResidues() int64 { return u.total }
@@ -89,6 +111,9 @@ func (u *unionCatalog) Locate(pos int64) (int, int64, error) {
 func (u *unionCatalog) Residues(i int) ([]byte, error) {
 	if i < 0 || i >= len(u.owner) {
 		return nil, fmt.Errorf("shard: sequence index %d out of range", i)
+	}
+	if u.owner[i] < 0 {
+		return nil, fmt.Errorf("shard: sequence %d is on a quarantined shard", i)
 	}
 	return u.cats[u.owner[i]].Residues(u.local[i])
 }

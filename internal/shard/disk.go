@@ -15,6 +15,13 @@ type DiskOptions struct {
 	// PoolBytesPerShard is each shard's buffer-pool capacity in bytes
 	// (default diskst.DefaultPoolBytesPerShard).
 	PoolBytesPerShard int64
+	// AllowDegraded admits a sequence-partitioned directory whose shard
+	// file(s) fail to open: the failed shards are quarantined and every
+	// search reports Degraded (see diskst.OpenOptions.AllowDegraded).
+	AllowDegraded bool
+	// WarmupPages controls open-time buffer-pool warm-up per shard
+	// (0 = diskst.DefaultWarmupPages, negative = disabled).
+	WarmupPages int
 }
 
 // OpenDiskEngine opens a sharded on-disk index directory (written by
@@ -24,11 +31,15 @@ type DiskOptions struct {
 // never needs the source database in memory.  The returned engine owns the
 // index files; call Close when done serving.
 func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
-	disk, err := diskst.OpenSharded(dir, diskst.OpenOptions{PoolBytesPerShard: opts.PoolBytesPerShard})
+	disk, err := diskst.OpenSharded(dir, diskst.OpenOptions{
+		PoolBytesPerShard: opts.PoolBytesPerShard,
+		AllowDegraded:     opts.AllowDegraded,
+		WarmupPages:       opts.WarmupPages,
+	})
 	if err != nil {
 		return nil, err
 	}
-	set := IndexSet{Closers: []io.Closer{disk}}
+	set := IndexSet{Closers: []io.Closer{disk}, Standing: disk.Quarantined}
 	switch disk.Manifest.Partition {
 	case diskst.PartitionPrefix:
 		set.Partition = PartitionByPrefix
@@ -45,11 +56,16 @@ func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
 		set.Prefixes = disk.Prefixes
 	default:
 		set.Partition = PartitionBySequence
-		set.Indexes = make([]core.Index, len(disk.Indexes))
+		// Quarantined shards hold nil entries; the engine runs over the
+		// survivors, whose Globals maps keep the original global numbering
+		// (the union catalog tolerates the holes).
 		for i, idx := range disk.Indexes {
-			set.Indexes[i] = idx
+			if idx == nil {
+				continue
+			}
+			set.Indexes = append(set.Indexes, idx)
+			set.Globals = append(set.Globals, disk.Manifest.GlobalIndex[i])
 		}
-		set.Globals = disk.Manifest.GlobalIndex
 	}
 	e, err := NewEngineFromSet(set, Options{Workers: opts.Workers})
 	if err != nil {

@@ -2,6 +2,9 @@ package shard
 
 import (
 	"container/heap"
+	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -41,6 +44,10 @@ type merger struct {
 	nEmitted   int
 	nDone      int
 	err        error
+	// degraded lists shards quarantined mid-query: their worker failed with a
+	// non-fatal error, their bound was dropped and their un-emitted pending
+	// hits purged, and the stream completed from the survivors.
+	degraded []core.ShardError
 }
 
 // newMerger builds a merger over len(bounds) shards, each starting at its
@@ -114,16 +121,27 @@ func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
 				m.bounds[ev.shard] = ev.hit.Score
 			}
 			if !stopped {
-				heap.Push(&m.pending, ev.hit)
+				heap.Push(&m.pending, shardHit{Hit: ev.hit, shard: ev.shard})
 			}
 		case evDone:
 			m.done[ev.shard] = true
 			m.nDone++
 			m.shardStats = append(m.shardStats, ev.stats)
 			if ev.err != nil && m.err == nil {
-				m.err = ev.err
-				stopped = true
-				cancelled.Store(true)
+				if quarantinable(ev.err, m.opts) {
+					// Quarantine: drop the shard's bound (done above), purge
+					// its buffered hits so only survivor results flow, and
+					// keep merging.  The stream stays score-ordered; the
+					// caller sees Degraded with this detail.
+					m.degraded = append(m.degraded, core.ShardError{
+						Shard: ev.shard, Err: ev.err.Error(),
+					})
+					m.purgeShard(ev.shard)
+				} else {
+					m.err = ev.err
+					stopped = true
+					cancelled.Store(true)
+				}
 			}
 		}
 		if !stopped && !m.emitReady() {
@@ -131,7 +149,36 @@ func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
 			cancelled.Store(true)
 		}
 	}
+	if m.err == nil && len(m.degraded) == len(m.bounds) {
+		// No survivors: degradation has nothing to serve from.
+		m.err = fmt.Errorf("shard: every shard failed; first: %s", m.degraded[0].Err)
+	}
 	return m.err
+}
+
+// quarantinable reports whether a shard failure should quarantine the shard
+// (degraded completion from the survivors) rather than fail the query:
+// strict mode fails everything, and context errors stay fatal because they
+// mean the query itself is being cancelled, not that one shard broke.
+func quarantinable(err error, opts core.Options) bool {
+	if opts.StrictShards {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// purgeShard drops the un-emitted pending hits of a quarantined shard: the
+// degraded stream must contain exactly the surviving shards' results (hits
+// already released to the consumer cannot be retracted and stay).
+func (m *merger) purgeShard(shard int) {
+	kept := m.pending.hits[:0]
+	for _, h := range m.pending.hits {
+		if h.shard != shard {
+			kept = append(kept, h)
+		}
+	}
+	m.pending.hits = kept
+	heap.Init(&m.pending)
 }
 
 // emitReady releases every pending hit whose score is strictly above the
@@ -145,7 +192,7 @@ func (m *merger) emitReady() bool {
 				return true // an equal or stronger hit may still arrive; wait
 			}
 		}
-		h := heap.Pop(&m.pending).(core.Hit)
+		h := heap.Pop(&m.pending).(shardHit).Hit
 		if m.dedup != nil && !m.dedup.markNew(h.SeqIndex) {
 			continue // a better copy of this sequence was already emitted
 		}
@@ -170,11 +217,18 @@ func (m *merger) emitReady() bool {
 	return true
 }
 
+// shardHit tags a buffered hit with its producing shard so the hits of a
+// quarantined shard can be purged from the pending heap.
+type shardHit struct {
+	core.Hit
+	shard int
+}
+
 // hitQueue is a max-heap of hits ordered by score (ties: lower global
 // sequence index first, so simultaneous buffered ties release
 // deterministically).
 type hitQueue struct {
-	hits []core.Hit
+	hits []shardHit
 }
 
 func (q *hitQueue) Len() int { return len(q.hits) }
@@ -185,7 +239,7 @@ func (q *hitQueue) Less(i, j int) bool {
 	return q.hits[i].SeqIndex < q.hits[j].SeqIndex
 }
 func (q *hitQueue) Swap(i, j int) { q.hits[i], q.hits[j] = q.hits[j], q.hits[i] }
-func (q *hitQueue) Push(x any)    { q.hits = append(q.hits, x.(core.Hit)) }
+func (q *hitQueue) Push(x any)    { q.hits = append(q.hits, x.(shardHit)) }
 func (q *hitQueue) Pop() any {
 	old := q.hits
 	n := len(old)

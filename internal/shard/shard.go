@@ -43,6 +43,7 @@ import (
 	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/diskst"
+	"repro/internal/faultpoint"
 	"repro/internal/score"
 	"repro/internal/seq"
 )
@@ -120,6 +121,12 @@ type Engine struct {
 	// searches running (see QueueDepths).
 	queued []atomic.Int64
 	active []atomic.Int64
+	// standing lists shards that were quarantined at open time (e.g. an
+	// unreadable disk shard admitted with AllowDegraded); every search over
+	// the engine is degraded by them.  quarantines counts shards quarantined
+	// mid-query over the engine's lifetime (metrics).
+	standing    []core.ShardError
+	quarantines atomic.Int64
 }
 
 // IndexSet describes prebuilt per-shard indexes for NewEngineFromSet.  It is
@@ -148,6 +155,10 @@ type IndexSet struct {
 	// Closers are resources the engine takes ownership of (disk index
 	// files, pools); Engine.Close releases them.
 	Closers []io.Closer
+	// Standing lists shards already quarantined when the set was assembled
+	// (open-time failures admitted in degraded mode).  Indexes/Globals hold
+	// only the survivors; every search is marked Degraded with these errors.
+	Standing []core.ShardError
 }
 
 // NewEngine partitions the work for db into opts.Shards shards and builds
@@ -197,7 +208,7 @@ func NewEngine(db *seq.Database, opts Options) (*Engine, error) {
 // indexes.  opts.Shards and opts.Partition are ignored (the set determines
 // both); opts.Workers bounds shard-search concurrency as in NewEngine.
 func NewEngineFromSet(set IndexSet, opts Options) (*Engine, error) {
-	e := &Engine{mode: set.Partition, cat: set.Catalog, closers: set.Closers}
+	e := &Engine{mode: set.Partition, cat: set.Catalog, closers: set.Closers, standing: set.Standing}
 	switch set.Partition {
 	case PartitionBySequence:
 		if len(set.Indexes) == 0 {
@@ -309,6 +320,15 @@ func (e *Engine) QueueDepths() []QueueDepth {
 // Partition returns the engine's partition mode.
 func (e *Engine) Partition() PartitionMode { return e.mode }
 
+// Standing returns the shards quarantined at open time (nil for a healthy
+// engine).  Every search over an engine with standing quarantines reports
+// Degraded with these errors.
+func (e *Engine) Standing() []core.ShardError { return e.standing }
+
+// Quarantines returns how many shards have been quarantined mid-query over
+// the engine's lifetime (each degraded query counts its failed shards).
+func (e *Engine) Quarantines() int64 { return e.quarantines.Load() }
+
 // NumShards returns the number of work partitions.
 func (e *Engine) NumShards() int { return e.nShards }
 
@@ -348,6 +368,16 @@ const (
 // Stats.Add; hit ranks are assigned by the merger.  Returning false from
 // report cancels every shard search.
 func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) bool) error {
+	if len(e.standing) > 0 {
+		if opts.StrictShards {
+			return fmt.Errorf("shard: %d shard(s) quarantined at open (first: %s) and StrictShards is set",
+				len(e.standing), e.standing[0].Err)
+		}
+		if opts.Stats != nil {
+			opts.Stats.Degraded = true
+			opts.Stats.ShardErrors = append(opts.Stats.ShardErrors, e.standing...)
+		}
+	}
 	if e.nShards == 1 {
 		// One shard is the single-index search; skip the merge machinery.
 		globals := e.globals[0]
@@ -480,10 +510,17 @@ func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedu
 	m := newMerger(bounds, opts, e.total, len(query), dedup, report)
 	err := m.run(events, &cancelled)
 	wg.Wait()
+	if len(m.degraded) > 0 {
+		e.quarantines.Add(int64(len(m.degraded)))
+	}
 	if opts.Stats != nil {
 		opts.Stats.Add(extraStats)
 		for _, st := range m.shardStats {
 			opts.Stats.Add(st)
+		}
+		if len(m.degraded) > 0 {
+			opts.Stats.Degraded = true
+			opts.Stats.ShardErrors = append(opts.Stats.ShardErrors, m.degraded...)
 		}
 	}
 	return err
@@ -507,6 +544,10 @@ func (e *Engine) releaseWorker(s int, sem chan struct{}) {
 // events: hits and strictly decreasing frontier bounds are forwarded until
 // cancellation, then completion is signalled with the shard's work counters.
 func (e *Engine) runShardStream(s int, opts core.Options, events chan<- event, cancelled *atomic.Bool, search shardSearchFn) {
+	if err := faultpoint.Hit(faultpoint.SiteShardWorker, fmt.Sprintf("shard-%d", s)); err != nil {
+		events <- event{shard: s, kind: evDone, err: fmt.Errorf("shard %d: %w", s, err)}
+		return
+	}
 	var st core.Stats
 	shardOpts := opts
 	shardOpts.Stats = &st

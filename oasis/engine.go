@@ -47,6 +47,15 @@ type EngineOptions struct {
 	// a size-bounded LRU evicts by recency.  Zero disables the cache; see
 	// Metrics().Cache for hit rates.
 	CacheBytes int64
+	// AllowDegraded admits an IndexDir whose shard file(s) fail to open
+	// instead of refusing to start: the failed shards are quarantined and
+	// every query reports Degraded with the per-shard errors
+	// (sequence-partitioned directories only).
+	AllowDegraded bool
+	// WarmupPages controls open-time buffer-pool warm-up per disk shard
+	// (0 = a small default working set of near-root pages; negative
+	// disables warm-up).
+	WarmupPages int
 }
 
 // Engine is a warm, long-running OASIS query engine: the sharded suffix-tree
@@ -88,6 +97,8 @@ func NewEngine(db *Database, opts EngineOptions) (*Engine, error) {
 		BatchWorkers:      opts.BatchWorkers,
 		ResultBuffer:      opts.ResultBuffer,
 		CacheBytes:        opts.CacheBytes,
+		AllowDegraded:     opts.AllowDegraded,
+		WarmupPages:       opts.WarmupPages,
 	})
 	if err != nil {
 		return nil, err
@@ -162,6 +173,11 @@ type EngineMetrics = engine.Metrics
 
 // Metrics returns the engine's current resource-usage snapshot.
 func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }
+
+// Standing returns the shards quarantined when the engine opened (nil for a
+// healthy engine).  Every query over an engine with standing quarantines
+// reports Degraded with these errors.
+func (e *Engine) Standing() []ShardError { return e.eng.Standing() }
 
 // BatchQuery is one query of a batch.
 type BatchQuery struct {
@@ -268,5 +284,6 @@ func coreOptions(opts SearchOptions) core.Options {
 		KA:              opts.KA,
 		Stats:           opts.Stats,
 		DisableLiveBand: opts.DisableLiveBand,
+		StrictShards:    opts.StrictShards,
 	}
 }

@@ -86,8 +86,12 @@ type (
 type (
 	// Hit is one reported database sequence with its optimal score.
 	Hit = core.Hit
-	// SearchStats counts the work done by an OASIS search.
+	// SearchStats counts the work done by an OASIS search.  Degraded and
+	// ShardErrors record partial-failure completion: the query finished from
+	// surviving shards after one or more shards were quarantined.
 	SearchStats = core.Stats
+	// ShardError describes one quarantined shard of a degraded search.
+	ShardError = core.ShardError
 	// Index is the suffix-tree view OASIS searches over.
 	Index = core.Index
 	// Catalog is the sequence-metadata view of an index or engine
@@ -173,6 +177,19 @@ func BuildShardedDiskIndex(dir string, db *Database, opts ShardedIndexBuildOptio
 // directory.
 func ReadIndexManifest(dir string) (*IndexManifest, error) { return diskst.ReadManifest(dir) }
 
+// VerifyReport summarises a deep scrub of an index file or directory: every
+// checksummed block is re-read and compared against the stored CRC32C table,
+// then the index is structurally opened.  Problems is empty when the scrub
+// passed; ChecksumsUnavailable flags pre-checksum (format v1) files that
+// could only be structurally checked.
+type VerifyReport = diskst.VerifyReport
+
+// VerifyDiskIndex deep-scrubs a single index file (oasis-build -verify).
+func VerifyDiskIndex(path string) (*VerifyReport, error) { return diskst.VerifyIndex(path) }
+
+// VerifyIndexDir deep-scrubs every shard file of a sharded index directory.
+func VerifyIndexDir(dir string) (*VerifyReport, error) { return diskst.VerifyIndexDir(dir) }
+
 // DiskIndex is a disk-resident index read through a buffer pool.
 type DiskIndex struct {
 	*diskst.Index
@@ -223,6 +240,10 @@ type SearchOptions struct {
 	// column cell (for measuring the band's CellsComputed reduction;
 	// results are identical either way).
 	DisableLiveBand bool
+	// StrictShards fails a sharded search outright when any shard fails,
+	// instead of quarantining the shard and completing a Degraded stream
+	// from the survivors (the default).
+	StrictShards bool
 }
 
 // SearchOption mutates SearchOptions in NewSearchOptions.
@@ -268,6 +289,15 @@ func WithMaxResults(k int) SearchOption {
 func WithStats(st *SearchStats) SearchOption {
 	return func(o *SearchOptions, _ searchContext) error {
 		o.Stats = st
+		return nil
+	}
+}
+
+// WithStrictShards makes a sharded search fail outright when any shard
+// fails, instead of completing a Degraded stream from the survivors.
+func WithStrictShards() SearchOption {
+	return func(o *SearchOptions, _ searchContext) error {
+		o.StrictShards = true
 		return nil
 	}
 }
