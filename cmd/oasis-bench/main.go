@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk,cache or all")
+		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk,cache,incremental or all")
 		residues     = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries      = flag.Int("queries", 60, "number of motif queries")
 		eValue       = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -316,6 +316,31 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 			}
 			report.Records = append(report.Records, rec)
 		}
+	}
+	if want("incremental") {
+		// The mutable layer: sustained insert rate and write-to-searchable
+		// staleness while the Figure-4 query mix is served concurrently, at
+		// the first configured shard count.
+		row, err := experiments.Incremental(lab, shardCounts[0], workers, 0)
+		if err != nil {
+			return err
+		}
+		experiments.RenderIncremental(out, row)
+		report.Records = append(report.Records, experiments.BenchRecord{
+			Name:    "incremental/insert",
+			NsPerOp: float64(row.InsertTime),
+			Extra: map[string]float64{
+				"inserts_per_sec":   row.InsertsPerSec,
+				"staleness_mean_ns": float64(row.StalenessMean),
+				"staleness_max_ns":  float64(row.StalenessMax),
+				"staleness_samples": float64(row.Samples),
+				"queries_per_sec":   row.QueriesPerSec,
+				"queries_served":    float64(row.QueriesServed),
+				"inserted":          float64(row.InsertedSequences),
+				"compact_ns":        float64(row.CompactTime),
+				"generation":        float64(row.Generation),
+			},
+		})
 	}
 	if jsonPath != "" && len(report.Records) > 0 {
 		if err := experiments.WriteBenchJSON(jsonPath, report); err != nil {

@@ -41,6 +41,40 @@
 // rejected with HTTP 413 so one huge batch cannot monopolise the worker
 // pool.
 //
+// # Growing the served corpus: /insert, /delete, /compact
+//
+// The engine is incrementally indexable: writes land in an in-memory delta
+// layer (built online, in the spirit of the paper's online-construction
+// property) and become searchable immediately, without rebuilding or
+// reopening the base index.
+//
+// POST /insert adds one sequence.  Request and response (JSON):
+//
+//	{"id":"SYN|NEW1","sequence":"DKDGDGCITTKEL"}
+//	-> {"status":"ok","id":"SYN|NEW1","generation":7,
+//	    "memtable_sequences":3,"tombstones":0}
+//
+// The id must be unique among live sequences and the sequence must be over
+// the served database's alphabet; violations get HTTP 400 with
+// {"error":"..."}.  The returned generation is the index generation the
+// write produced — every search from then on sees the new sequence, and
+// result-cache entries are keyed by generation, so stale cached streams
+// simply stop being reachable (no global cache flush).
+//
+// POST /delete tombstones one live sequence by id ({"id":"SYN|NEW1"}); the
+// response has the same shape as /insert.  Deleted sequences are filtered
+// from result streams at merge time and reclaimed at the next compaction.
+//
+// POST /compact (empty body) folds the mutable layer down a level and
+// responds {"status":"ok","generation":8,"compacted":true,...}
+// ("compacted":false when there was nothing to fold).  For -index-dir
+// engines this persists the memtable as a delta shard file and atomically
+// swaps a new manifest generation — until then, inserts live only in memory
+// (there is no write-ahead log), so ingest pipelines should compact after a
+// bulk load.  -compact-after N triggers the same fold automatically in the
+// background once the memtable holds N sequences.  Mutations during
+// graceful shutdown are shed with HTTP 503.
+//
 // # Result cache and fair admission
 //
 // The engine keeps a cross-query result cache (-cache MB, default 32, 0
@@ -48,8 +82,9 @@
 // search options), and an identical query arriving again — the common case
 // for dashboards, retries and shared motif lookups — replays the stored
 // stream without touching the index.  Concurrent identical queries run the
-// DP sweep once (single-flight).  Indexes are immutable, so entries never go
-// stale; an LRU evicts by recency when the budget fills.
+// DP sweep once (single-flight).  Cache keys carry the index generation, so
+// a write (see /insert above) retargets the cache rather than serving stale
+// streams; an LRU evicts by recency when the budget fills.
 //
 // Search and batch requests pass a per-client fair admission controller
 // before reaching the engine: at most -admission-slots requests run at once
@@ -91,7 +126,10 @@
 // version=0.0.4") or ?format=prometheus, /metrics renders the Prometheus text
 // exposition instead, including the fault-tolerance counters
 // degraded_queries_total, shard_quarantined, checksum_failures_total and
-// retries_total plus per-endpoint request_duration_seconds histograms.
+// retries_total, the incremental-indexing series (index_generation,
+// inserts_total, deletes_total, compactions_total, memtable_sequences,
+// delta_layers, tombstones, live_sequences) and per-endpoint
+// request_duration_seconds histograms.
 //
 // GET /healthz returns liveness plus the database shape; GET /stats returns
 // the engine's lifetime counters (queries, hits, merged work counters).
@@ -163,6 +201,7 @@ type serveFlags struct {
 	strict       bool
 	allowDegr    bool
 	shutdownWait time.Duration
+	compactAfter int
 }
 
 func main() {
@@ -188,6 +227,7 @@ func main() {
 	flag.BoolVar(&f.strict, "strict", false, "fail queries outright when a shard fails instead of serving degraded results from the survivors")
 	flag.BoolVar(&f.allowDegr, "allow-degraded", false, "start serving even when shard files fail to open (with -index-dir): failed shards are quarantined and every query reports degraded")
 	flag.DurationVar(&f.shutdownWait, "shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.IntVar(&f.compactAfter, "compact-after", 0, "compact the mutable layer in the background once this many inserted sequences accumulate (0 = only explicit POST /compact)")
 	flag.Parse()
 	if f.admSlots <= 0 {
 		f.admSlots = 2 * runtime.GOMAXPROCS(0)
@@ -288,6 +328,7 @@ func run(f serveFlags) error {
 		admissionWait:  f.admWait,
 		queryTimeout:   f.queryTimeout,
 		strict:         f.strict,
+		compactAfter:   f.compactAfter,
 	})
 	srv := &http.Server{
 		Addr:              f.addr,

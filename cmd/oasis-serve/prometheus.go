@@ -51,9 +51,27 @@ func (s *server) writePrometheus(w http.ResponseWriter) {
 		"Transient disk read errors retried with backoff.",
 		em.Faults.ReadRetries)
 
+	mm := em.Mutable
+	gauge("index_generation",
+		"Current index generation; bumps on every insert, delete and compaction.",
+		int64(mm.Generation))
+	counter("inserts_total", "Sequences inserted since process start.", mm.Inserts)
+	counter("deletes_total", "Sequences tombstoned since process start.", mm.Deletes)
+	counter("compactions_total", "Mutable-layer compactions completed.", mm.Compactions)
+	gauge("memtable_sequences", "Inserted sequences not yet compacted.", int64(mm.MemtableSequences))
+	gauge("delta_layers", "Searchable delta layers over the base index.", int64(mm.DeltaLayers))
+	gauge("tombstones", "Deleted sequences still physically present.", int64(mm.Tombstones))
+	gauge("live_sequences", "Searchable sequences after tombstone filtering.", int64(mm.LiveSequences))
+
 	if em.Cache != nil {
 		counter("cache_hits_total", "Result-cache hits.", em.Cache.Hits)
 		counter("cache_misses_total", "Result-cache misses.", em.Cache.Misses)
+		counter("cache_replacements_total",
+			"Result-cache entries overwritten by a same-key Put.", em.Cache.Replacements)
+		counter("cache_oversized_total",
+			"Result streams refused caching for exceeding the per-entry budget.", em.Cache.Oversized)
+		counter("cache_injected_faults_total",
+			"Cache lookups failed by an active faultpoint drill.", em.Cache.InjectedFaults)
 	}
 	if s.adm != nil {
 		adm := s.adm.snapshot()

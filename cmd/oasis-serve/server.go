@@ -42,6 +42,9 @@ type serverConfig struct {
 	// strict fails a query outright when any shard fails, instead of
 	// completing a Degraded stream from the surviving shards.
 	strict bool
+	// compactAfter triggers a background compaction once the memtable holds
+	// this many inserted sequences (0 = only explicit POST /compact).
+	compactAfter int
 }
 
 // searchRequest is the JSON body of POST /search and one element of the
@@ -98,6 +101,9 @@ type server struct {
 	// draining is flipped by startDrain during graceful shutdown: new
 	// search/batch requests are shed with 503 while in-flight streams finish.
 	draining atomic.Bool
+	// compacting is the single-flight latch for -compact-after background
+	// compactions (see maybeCompact).
+	compacting atomic.Bool
 }
 
 // newServer builds the HTTP handler: build the engine once, serve many
@@ -122,6 +128,9 @@ func newServer(eng *oasis.Engine, cfg serverConfig) *server {
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	s.handle("POST /search", "search", s.handleSearch)
 	s.handle("POST /batch", "batch", s.handleBatch)
+	s.handle("POST /insert", "insert", s.handleInsert)
+	s.handle("POST /delete", "delete", s.handleDelete)
+	s.handle("POST /compact", "compact", s.handleCompact)
 	return s
 }
 

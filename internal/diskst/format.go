@@ -82,7 +82,8 @@
 // own buffer pool so shard parallelism also parallelises page I/O):
 //
 //	{
-//	  "version": 2,               // v1 manifests (no "checksums") still open
+//	  "version": 3,               // v1/v2 manifests still open (new fields
+//	                              // read as zero/absent)
 //	  "partition": "sequence" | "prefix",
 //	  "shards": 4,
 //	  "alphabet": "protein" | "dna",
@@ -97,8 +98,39 @@
 //	  // partition=prefix: exactly one shared file (every shard opens it
 //	  // through its own pool) plus the suffix-prefix -> shard owner tables
 //	  "prefix_assignment": {"shards":4, "width":20,
-//	                        "owner_l1":[...], "owner_l2":[...]}
+//	                        "owner_l1":[...], "owner_l2":[...]},
+//	  // v3 mutable layer (all optional; absent on a freshly built index):
+//	  "generation": 7,               // bumped by every compaction; readers
+//	                                 // pin the generation they opened
+//	  "deltas": [                    // compacted delta indexes, oldest first
+//	    {"file": "delta-000007.oasis",
+//	     "global_index": [117, 118], // dense append order: global indexes
+//	                                 // continue after base + earlier deltas
+//	     "residues": 451}
+//	  ],
+//	  "tombstones": [3, 118]         // deleted global sequence indexes
 //	}
+//
+// # Mutable layer (manifest v3)
+//
+// Version 3 adds LSM-style incremental indexing on top of the immutable
+// base files.  Inserted sequences live in an in-memory delta until a
+// compaction folds them into an ordinary single-file index
+// ("delta-<generation>.oasis", same byte layout as any shard file) and
+// swaps in a new manifest with a bumped "generation".  The swap is atomic
+// (write manifest.json.tmp, fsync, rename), so a crash mid-compaction
+// leaves the previous manifest — and every file it references — intact.
+//
+// Delta "global_index" entries must be DENSE: each delta's sequences
+// continue the global numbering exactly where base + earlier deltas left
+// off (Validate enforces this), which keeps merged result streams
+// deterministic across restarts.  "num_sequences"/"total_residues" keep
+// describing the BASE shard files only, so the open-time cross-check
+// against those files stays exact; live-corpus totals are derived by
+// adding delta "residues" and subtracting tombstoned sequences.
+// "tombstones" lists deleted global indexes (base and delta alike) — the
+// sequences stay physically present in their files and search filters
+// them during the merge.
 //
 // Shard file names are bare names resolved relative to the manifest's
 // directory, so an index directory can be moved or mounted anywhere.

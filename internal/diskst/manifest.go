@@ -16,10 +16,11 @@ import (
 // directory.
 const ManifestName = "manifest.json"
 
-// ManifestVersion is the current manifest schema version: 2 records whether
-// the shard files carry per-block checksums.  Version 1 manifests (and their
-// checksum-less shard files) still open.
-const ManifestVersion = 2
+// ManifestVersion is the current manifest schema version: 3 adds the mutable
+// layer's bookkeeping — a generation number, compacted delta index files and
+// per-sequence tombstones.  Version 2 added per-block checksums.  Version 1
+// and 2 manifests still open (their new fields read as zero/absent).
+const ManifestVersion = 3
 
 // Partition-mode names used in the manifest (string-typed so the manifest
 // stays self-describing without importing the shard package).
@@ -62,6 +63,34 @@ type Manifest struct {
 	// Checksums records that every shard file carries a v2 per-block CRC32C
 	// table (false for v1 manifests: checksums unavailable).
 	Checksums bool `json:"checksums,omitempty"`
+	// Generation numbers this manifest within the directory's lifetime (v3).
+	// Every compaction writes a new manifest with a higher generation and
+	// swaps it in atomically; readers pin the generation they opened.
+	Generation uint64 `json:"generation,omitempty"`
+	// Deltas lists compacted delta index files (v3), in the order they were
+	// compacted.  Each is an ordinary single-shard index file over the
+	// sequences inserted since the previous compaction; its global sequence
+	// indexes continue AFTER the base corpus and earlier deltas.
+	// NumSequences/TotalResidues above keep describing the BASE files only,
+	// so the open-time cross-check against the base shard files stays exact.
+	Deltas []DeltaRecord `json:"deltas,omitempty"`
+	// Tombstones lists deleted global sequence indexes (v3), covering base
+	// and delta sequences alike.  Tombstoned sequences stay physically
+	// present in their files; search filters them in the merger.
+	Tombstones []int `json:"tombstones,omitempty"`
+}
+
+// DeltaRecord names one compacted delta index file within the manifest's
+// directory and maps its local sequence indexes into the global space.
+type DeltaRecord struct {
+	// File is the delta index file name, relative to the manifest directory.
+	File string `json:"file"`
+	// GlobalIndex[i] is the global sequence index of the file's i-th
+	// sequence.
+	GlobalIndex []int `json:"global_index"`
+	// Residues is the file's residue total (excluding terminators), so live
+	// corpus totals can be derived without opening every delta.
+	Residues int64 `json:"residues"`
 }
 
 // Validate checks the manifest's internal consistency.
@@ -102,10 +131,35 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("diskst: manifest shard file %q must be a bare file name", f)
 		}
 	}
+	total := m.NumSequences
+	for i, d := range m.Deltas {
+		if d.File == "" || filepath.IsAbs(d.File) || d.File != filepath.Base(d.File) {
+			return fmt.Errorf("diskst: manifest delta file %q must be a bare file name", d.File)
+		}
+		if len(d.GlobalIndex) == 0 {
+			return fmt.Errorf("diskst: delta %d (%s) has an empty global index", i, d.File)
+		}
+		for _, g := range d.GlobalIndex {
+			if g != total {
+				return fmt.Errorf("diskst: delta %d (%s) global index %d breaks the dense append order (want %d)",
+					i, d.File, g, total)
+			}
+			total++
+		}
+	}
+	for _, tomb := range m.Tombstones {
+		if tomb < 0 || tomb >= total {
+			return fmt.Errorf("diskst: tombstone %d outside the global sequence space [0,%d)", tomb, total)
+		}
+	}
 	return nil
 }
 
-// WriteManifest validates and writes the manifest into dir.
+// WriteManifest validates and writes the manifest into dir atomically:
+// write-temp + fsync + rename, so a crash at any point leaves either the old
+// manifest or the new one, never a torn file.  The previous generation's
+// delta files are still referenced by the old manifest until the rename
+// lands, which is what makes compaction crash-safe.
 func WriteManifest(dir string, m *Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -114,7 +168,30 @@ func WriteManifest(dir string, m *Manifest) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ReadManifest reads and validates the manifest in dir.
@@ -281,6 +358,56 @@ type Sharded struct {
 	Quarantined []core.ShardError
 }
 
+// OpenFile opens one index file named by the manifest (a base shard file or
+// a compacted delta) relative to dir, through a fresh buffer pool of up to
+// poolBytes (0 selects DefaultPoolBytesPerShard; small files get
+// proportionally small pools), cross-checking the file's alphabet and block
+// size against the manifest.  warmupPages as in OpenOptions: 0 prefetches
+// DefaultWarmupPages near-root pages, negative disables warm-up.
+func (m *Manifest) OpenFile(dir, name string, poolBytes int64, warmupPages int) (*Index, error) {
+	if poolBytes <= 0 {
+		poolBytes = DefaultPoolBytesPerShard
+	}
+	// The buffer pool's frames are allocated eagerly, so cap each pool
+	// at what its file could ever fill — a small index must not pin
+	// poolBytes of frames per file.
+	bytes := poolBytes
+	if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() < bytes {
+		bytes = alignUp(fi.Size(), int64(m.BlockSize))
+	}
+	pool := bufferpool.New(bytes, m.BlockSize)
+	idx, err := Open(filepath.Join(dir, name), pool)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-check the file against the manifest that named it: a file
+	// built over a different alphabet or block size would silently
+	// return wrong results if it were searched.
+	wantAlphabet := seq.Protein
+	if m.Alphabet == "dna" {
+		wantAlphabet = seq.DNA
+	}
+	if idx.Catalog().Alphabet() != wantAlphabet {
+		idx.Close()
+		return nil, fmt.Errorf("file alphabet %s, manifest says %s",
+			idx.Catalog().Alphabet().Name(), m.Alphabet)
+	}
+	if idx.BlockSize() != m.BlockSize {
+		idx.Close()
+		return nil, fmt.Errorf("file block size %d, manifest says %d", idx.BlockSize(), m.BlockSize)
+	}
+	// Warm-up: prefetch the near-root internal pages (BFS order puts the
+	// root's vicinity first) so the first queries do not pay a cold pool.
+	if warmupPages >= 0 {
+		pages := warmupPages
+		if pages == 0 {
+			pages = DefaultWarmupPages
+		}
+		idx.WarmUp(pages)
+	}
+	return idx, nil
+}
+
 // OpenSharded opens every shard of the index directory written by
 // BuildSharded, one buffer pool per shard.
 func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
@@ -292,46 +419,13 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 	if poolBytes <= 0 {
 		poolBytes = DefaultPoolBytesPerShard
 	}
-	wantAlphabet := seq.Protein
-	if m.Alphabet == "dna" {
-		wantAlphabet = seq.DNA
-	}
 	s := &Sharded{Dir: dir, Manifest: m}
 	openOne := func(name string) (*Index, *bufferpool.Pool, error) {
-		// The buffer pool's frames are allocated eagerly, so cap each pool
-		// at what its file could ever fill — a small index must not pin
-		// PoolBytesPerShard of frames per shard.
-		bytes := poolBytes
-		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() < bytes {
-			bytes = alignUp(fi.Size(), int64(m.BlockSize))
-		}
-		pool := bufferpool.New(bytes, m.BlockSize)
-		idx, err := Open(filepath.Join(dir, name), pool)
+		idx, err := m.OpenFile(dir, name, poolBytes, opts.WarmupPages)
 		if err != nil {
 			return nil, nil, err
 		}
-		// Cross-check the file against the manifest that named it: a shard
-		// built over a different alphabet or block size would silently
-		// return wrong results if it were searched.
-		if idx.Catalog().Alphabet() != wantAlphabet {
-			idx.Close()
-			return nil, nil, fmt.Errorf("file alphabet %s, manifest says %s",
-				idx.Catalog().Alphabet().Name(), m.Alphabet)
-		}
-		if idx.BlockSize() != m.BlockSize {
-			idx.Close()
-			return nil, nil, fmt.Errorf("file block size %d, manifest says %d", idx.BlockSize(), m.BlockSize)
-		}
-		// Warm-up: prefetch the near-root internal pages (BFS order puts the
-		// root's vicinity first) so the first queries do not pay a cold pool.
-		if opts.WarmupPages >= 0 {
-			pages := opts.WarmupPages
-			if pages == 0 {
-				pages = DefaultWarmupPages
-			}
-			idx.WarmUp(pages)
-		}
-		return idx, pool, nil
+		return idx, idx.Pool(), nil
 	}
 	fail := func(err error) (*Sharded, error) {
 		s.Close()

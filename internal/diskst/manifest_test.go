@@ -172,6 +172,67 @@ func TestManifestValidation(t *testing.T) {
 	}
 }
 
+// TestManifestV3MutableFields covers the v3 delta/tombstone invariants: delta
+// global indexes must continue the numbering densely after the base corpus
+// and earlier deltas, tombstones must stay inside the combined sequence
+// space, and a valid v3 manifest must survive the atomic write/read round
+// trip losslessly.
+func TestManifestV3MutableFields(t *testing.T) {
+	base := func() *Manifest {
+		return &Manifest{
+			Version: ManifestVersion, Partition: PartitionSequence, Shards: 2,
+			Alphabet: "protein", BlockSize: 2048, NumSequences: 3, TotalResidues: 30,
+			ShardFiles:  []string{"shard-0.oasis", "shard-1.oasis"},
+			GlobalIndex: [][]int{{0, 2}, {1}},
+			Generation:  4,
+			Deltas: []DeltaRecord{
+				{File: "delta-000002.oasis", GlobalIndex: []int{3, 4}, Residues: 17},
+				{File: "delta-000004.oasis", GlobalIndex: []int{5}, Residues: 9},
+			},
+			Tombstones: []int{1, 4},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid v3 manifest rejected: %v", err)
+	}
+	cases := map[string]func(*Manifest){
+		"delta path in file":  func(m *Manifest) { m.Deltas[0].File = "sub/delta.oasis" },
+		"delta empty globals": func(m *Manifest) { m.Deltas[1].GlobalIndex = nil },
+		"delta gap":           func(m *Manifest) { m.Deltas[0].GlobalIndex = []int{3, 5} },
+		"delta overlaps base": func(m *Manifest) { m.Deltas[0].GlobalIndex = []int{2, 3} },
+		"delta out of order":  func(m *Manifest) { m.Deltas[0], m.Deltas[1] = m.Deltas[1], m.Deltas[0] },
+		"tombstone negative":  func(m *Manifest) { m.Tombstones[0] = -1 },
+		"tombstone past end":  func(m *Manifest) { m.Tombstones[1] = 6 },
+	}
+	for name, mutate := range cases {
+		m := base()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, m)
+		}
+	}
+	dir := t.TempDir()
+	m := base()
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp manifest left behind after a successful write (stat err %v)", err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(m)
+	raw, _ := json.Marshal(got)
+	if string(raw) != string(want) {
+		t.Fatalf("v3 round trip lost data:\n  wrote %s\n  read  %s", want, raw)
+	}
+	if got.Generation != 4 || len(got.Deltas) != 2 || len(got.Tombstones) != 2 {
+		t.Fatalf("reread v3 fields %+v", got)
+	}
+}
+
 // TestOpenShardedRejectsTamperedManifest covers the open-time cross-check of
 // manifest totals against the shard files.
 func TestOpenShardedRejectsTamperedManifest(t *testing.T) {

@@ -127,15 +127,20 @@ func VerifyIndex(path string) (*VerifyReport, error) {
 }
 
 // VerifyIndexDir deep-scrubs a sharded index directory: the manifest is
-// validated, then every distinct shard file is scrubbed with VerifyIndex.
+// validated, then every distinct shard file — base shards and compacted
+// deltas alike — is scrubbed with VerifyIndex.
 func VerifyIndexDir(dir string) (*VerifyReport, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
+	files := append([]string(nil), m.ShardFiles...)
+	for _, d := range m.Deltas {
+		files = append(files, d.File)
+	}
 	rep := &VerifyReport{}
 	seen := map[string]bool{} // prefix mode shares one file across shards
-	for _, name := range m.ShardFiles {
+	for _, name := range files {
 		if seen[name] {
 			continue
 		}

@@ -24,8 +24,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufferpool"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/seq"
 	"repro/internal/shard"
+	"repro/internal/suffixtree"
 )
 
 // Options configures a warm engine.
@@ -81,9 +84,11 @@ type Options struct {
 	// hit stream and replay it — without touching the index — when an
 	// identical query (same residues, scheme, MinScore, E-value statistics)
 	// arrives again.  Concurrent identical queries are single-flighted: one
-	// runs the DP sweep, the rest wait and replay.  Indexes are immutable
-	// after construction, so cached streams never go stale; the LRU evicts
-	// by recency when the budget fills.  Zero disables caching.
+	// runs the DP sweep, the rest wait and replay.  Cache keys carry the
+	// index generation, so a write (Insert/Delete/Compact) retargets the
+	// cache instead of serving stale streams; superseded entries age out of
+	// the LRU, which evicts by recency when the budget fills.  Zero disables
+	// caching.
 	CacheBytes int64
 }
 
@@ -128,13 +133,43 @@ type Result struct {
 // is built once and every subsequent query reuses it, along with pooled
 // searcher scratch.  All methods are safe for concurrent use.
 type Engine struct {
-	sharded      *shard.Engine
-	db           *seq.Database
 	batchWorkers int
 	resultBuffer int
 	// cache is the cross-query result cache (nil when Options.CacheBytes is
 	// zero); it also owns the single-flight table for concurrent duplicates.
 	cache *qcache.Cache
+
+	// state is the published generation snapshot (see mutable.go): the base
+	// sharded index plus any delta layers and tombstones.  Searches pin one
+	// snapshot for their whole run; writers build a new snapshot under wmu
+	// and swap it in atomically.
+	state atomic.Pointer[genState]
+
+	// Writer-side mutable-layer fields, all guarded by wmu.  wBase/wDB track
+	// the current base (memory-mode compaction replaces them); retired bases
+	// and opened delta indexes accumulate in closers and are released only at
+	// Close, so pinned snapshots stay valid without per-generation
+	// refcounting.
+	wmu         sync.Mutex
+	wBase       *shard.Engine
+	wDB         *seq.Database
+	wGen        uint64
+	mem         *suffixtree.OnlineBuilder
+	layers      []shard.ExtraShard
+	layerSeqs   int
+	layerRes    int64
+	tombs       map[int]bool // immutable once published; copy-on-write
+	idIndex     map[string]int
+	closers     []io.Closer
+	indexDir    string
+	manifest    *diskst.Manifest
+	poolBytes   int64
+	warmupPages int
+	memOpts     shard.Options
+
+	inserts     atomic.Int64
+	deletes     atomic.Int64
+	compactions atomic.Int64
 
 	mu              sync.Mutex
 	stats           core.Stats
@@ -146,6 +181,9 @@ type Engine struct {
 	// engine is open, so Close's Wait cannot race a starting submission.
 	active sync.WaitGroup
 }
+
+// cur returns the engine's current published generation snapshot.
+func (e *Engine) cur() *genState { return e.state.Load() }
 
 // New builds a warm engine ready to serve queries: with Options.IndexDir it
 // opens the directory's prebuilt per-shard disk indexes (db must be nil);
@@ -166,6 +204,10 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 			PoolBytesPerShard: opts.PoolBytes,
 			AllowDegraded:     opts.AllowDegraded,
 			WarmupPages:       opts.WarmupPages,
+			// The mutable layer below reopens the manifest's deltas and
+			// tombstones itself (writes must be able to continue); a standing
+			// set on the base engine would search every delta twice.
+			BaseOnly: true,
 		})
 	} else {
 		if db == nil {
@@ -193,10 +235,12 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 		rb = 64
 	}
 	e := &Engine{
-		sharded:      sharded,
-		db:           db,
 		batchWorkers: bw,
 		resultBuffer: rb,
+	}
+	if err := e.initMutable(sharded, db, opts); err != nil {
+		sharded.Close()
+		return nil, err
 	}
 	if opts.CacheBytes > 0 {
 		e.cache = qcache.New(opts.CacheBytes)
@@ -204,33 +248,37 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// DB returns the database the engine was built over, or nil for disk-backed
-// engines (Options.IndexDir) — use Catalog for metadata that must work in
-// both modes.
-func (e *Engine) DB() *seq.Database { return e.db }
+// DB returns the database the engine's base index was built over, or nil for
+// disk-backed engines (Options.IndexDir) — use Catalog for metadata that must
+// work in both modes.  Inserted sequences live in delta layers, not here.
+func (e *Engine) DB() *seq.Database { return e.cur().db }
 
 // Catalog returns the global sequence catalog the engine serves: sequence
 // identifiers, lengths, residues for alignment recovery.  It is valid in
-// both in-memory and disk-backed modes.
-func (e *Engine) Catalog() core.Catalog { return e.sharded.Catalog() }
+// both in-memory and disk-backed modes and covers the base corpus plus every
+// inserted sequence; deleted (tombstoned) sequences stay addressable so hits
+// streamed before the delete can still recover alignments.
+func (e *Engine) Catalog() core.Catalog { return e.cur().cat }
 
 // Alphabet returns the residue alphabet of the served database.
-func (e *Engine) Alphabet() *seq.Alphabet { return e.sharded.Catalog().Alphabet() }
+func (e *Engine) Alphabet() *seq.Alphabet { return e.cur().cat.Alphabet() }
 
-// NumSequences returns the number of sequences the engine serves.
-func (e *Engine) NumSequences() int { return e.sharded.Catalog().NumSequences() }
+// NumSequences returns the number of sequences the engine physically holds
+// (base corpus plus inserted sequences, including tombstoned ones); see
+// Metrics().Mutable.LiveSequences for the searchable count.
+func (e *Engine) NumSequences() int { return e.cur().cat.NumSequences() }
 
-// TotalResidues returns the total residue count the engine serves.
-func (e *Engine) TotalResidues() int64 { return e.sharded.Catalog().TotalResidues() }
+// TotalResidues returns the total residue count the engine physically holds.
+func (e *Engine) TotalResidues() int64 { return e.cur().cat.TotalResidues() }
 
 // NumShards returns the number of partitions actually built.
-func (e *Engine) NumShards() int { return e.sharded.NumShards() }
+func (e *Engine) NumShards() int { return e.cur().base.NumShards() }
 
 // Partition returns the engine's work-partitioning mode.
-func (e *Engine) Partition() shard.PartitionMode { return e.sharded.Partition() }
+func (e *Engine) Partition() shard.PartitionMode { return e.cur().base.Partition() }
 
 // ShardWorkers returns the per-query shard concurrency bound.
-func (e *Engine) ShardWorkers() int { return e.sharded.Workers() }
+func (e *Engine) ShardWorkers() int { return e.cur().base.Workers() }
 
 // BatchWorkers returns the batch concurrency bound.
 func (e *Engine) BatchWorkers() int { return e.batchWorkers }
@@ -262,6 +310,9 @@ type Metrics struct {
 	Cache *qcache.Stats `json:"cache,omitempty"`
 	// Faults holds the engine's fault-tolerance counters.
 	Faults FaultMetrics `json:"faults"`
+	// Mutable holds the incremental-indexing counters: current generation,
+	// memtable occupancy, delta layers, tombstones and live totals.
+	Mutable MutableStats `json:"mutable"`
 }
 
 // FaultMetrics counts failures survived (or surfaced) since process start.
@@ -282,8 +333,9 @@ type FaultMetrics struct {
 
 // Metrics returns a point-in-time snapshot of the engine's resource usage.
 func (e *Engine) Metrics() Metrics {
-	m := Metrics{Scratch: e.sharded.ScratchStats(), Shards: e.sharded.QueueDepths()}
-	if disk := e.sharded.Disk(); disk != nil {
+	st := e.cur()
+	m := Metrics{Scratch: st.base.ScratchStats(), Shards: st.base.QueueDepths()}
+	if disk := st.base.Disk(); disk != nil {
 		m.Pools = disk.PoolStats()
 	}
 	if e.cache != nil {
@@ -294,15 +346,27 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	m.Faults.DegradedQueries = e.degradedQueries
 	e.mu.Unlock()
-	m.Faults.ShardsQuarantined = e.sharded.Quarantines() + int64(len(e.sharded.Standing()))
+	m.Faults.ShardsQuarantined = st.base.Quarantines() + int64(len(st.base.Standing()))
 	m.Faults.ChecksumFailures = fc.ChecksumFailures
 	m.Faults.ReadRetries = fc.ReadRetries
+	m.Mutable = MutableStats{
+		Generation:        st.gen,
+		Inserts:           e.inserts.Load(),
+		Deletes:           e.deletes.Load(),
+		Compactions:       e.compactions.Load(),
+		MemtableSequences: st.memSeqs,
+		MemtableResidues:  st.memRes,
+		DeltaLayers:       st.deltaLayers,
+		Tombstones:        st.tombstones,
+		LiveSequences:     st.liveSeqs,
+		LiveResidues:      st.liveRes,
+	}
 	return m
 }
 
 // Standing returns the shards quarantined when the engine opened (nil for a
 // healthy engine).
-func (e *Engine) Standing() []core.ShardError { return e.sharded.Standing() }
+func (e *Engine) Standing() []core.ShardError { return e.cur().base.Standing() }
 
 // begin registers one unit of in-flight work, failing when the engine is
 // closed.  The counter increment happens under the same lock that Close uses
@@ -317,16 +381,26 @@ func (e *Engine) begin() bool {
 	return true
 }
 
-// Close marks the engine closed; subsequent submissions fail.  It does not
-// interrupt in-flight queries (cancel their contexts for that) but waits for
-// them to drain, then releases resources the sharded engine owns (disk index
-// files for IndexDir engines).
+// Close marks the engine closed; subsequent submissions and writes fail.  It
+// does not interrupt in-flight queries (cancel their contexts for that) but
+// waits for them to drain, then releases every resource any generation ever
+// owned: the current base engine, retired bases from memory-mode compactions,
+// and opened delta index files.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
 	e.active.Wait()
-	return e.sharded.Close()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	first := e.wBase.Close()
+	for _, c := range e.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closers = nil
+	return first
 }
 
 // ErrClosed is returned for submissions after Close.
@@ -348,10 +422,16 @@ func (e *Engine) Search(ctx context.Context, q Query, report func(core.Hit) bool
 // has one (replay on hit, single-flighted DP sweep on miss), directly off
 // the index otherwise.
 func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
+	// Pin one generation for the life of the query: the snapshot's index
+	// layers stay valid (resources are only released at Close) and the cache
+	// key carries the generation, so a write published mid-query can neither
+	// change this query's view nor let its result stream be replayed for
+	// queries against the newer index state.
+	st := e.state.Load()
 	if e.cache == nil {
-		return e.searchIndex(ctx, q, report)
+		return e.searchIndex(ctx, st, q, report)
 	}
-	key := qcache.NewKey(q.Residues, q.Options)
+	key := qcache.NewKey(q.Residues, q.Options, st.gen)
 	for {
 		if entry, ok := e.cache.Get(key, q.Options.MaxResults); ok {
 			return e.replay(ctx, q, entry, report)
@@ -377,7 +457,7 @@ func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) b
 	// outgrows the largest entry the cache can hold: an uncacheable stream
 	// must not cost a full in-memory copy on every execution.
 	sizeLeft := e.cache.MaxEntryBytes()
-	st, err := e.searchIndex(ctx, q, func(h core.Hit) bool {
+	stats, err := e.searchIndex(ctx, st, q, func(h core.Hit) bool {
 		if sizeLeft >= 0 {
 			if sizeLeft -= qcache.HitSize(&h); sizeLeft < 0 {
 				hits = nil
@@ -397,11 +477,11 @@ func (e *Engine) searchOne(ctx context.Context, q Query, report func(core.Hit) b
 	// still answers any request for at most len(hits) results.  A degraded
 	// stream is never cached: replaying it would keep serving partial
 	// results after the fault has cleared.
-	if err == nil && !stopped && sizeLeft >= 0 && !st.Degraded {
+	if err == nil && !stopped && sizeLeft >= 0 && !stats.Degraded {
 		complete := q.Options.MaxResults == 0 || len(hits) < q.Options.MaxResults
 		e.cache.Put(key, &qcache.Entry{Hits: hits, Complete: complete})
 	}
-	return st, err
+	return stats, err
 }
 
 // replay streams a cached entry to report, honouring the query's MaxResults
@@ -439,24 +519,30 @@ func (e *Engine) replay(ctx context.Context, q Query, entry *qcache.Entry, repor
 	return st, err
 }
 
-// searchIndex runs the query on the sharded index (the cache-miss path; the
-// only path when the engine has no cache).  The context is observed both at
-// every hit callback and — via core's periodic poll — inside hit-less DP
-// stretches.
-func (e *Engine) searchIndex(ctx context.Context, q Query, report func(core.Hit) bool) (core.Stats, error) {
+// searchIndex runs the query on the pinned generation's sharded index (the
+// cache-miss path; the only path when the engine has no cache).  The context
+// is observed both at every hit callback and — via core's periodic poll —
+// inside hit-less DP stretches.
+func (e *Engine) searchIndex(ctx context.Context, s *genState, q Query, report func(core.Hit) bool) (core.Stats, error) {
 	var st core.Stats
 	opts := q.Options
 	opts.Stats = &st
 	opts.Scratch = nil // scratch is pooled inside the shard engine
 	opts.Context = ctx
 	var hits int64
-	err := e.sharded.Search(q.Residues, opts, func(h core.Hit) bool {
+	counted := func(h core.Hit) bool {
 		if ctx != nil && ctx.Err() != nil {
 			return false
 		}
 		hits++
 		return report(h)
-	})
+	}
+	var err error
+	if s.ext == nil {
+		err = s.base.Search(q.Residues, opts, counted)
+	} else {
+		err = s.base.SearchExtra(q.Residues, opts, s.ext, counted)
+	}
 	if err == nil && ctx != nil {
 		err = ctx.Err()
 	}

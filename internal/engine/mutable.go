@@ -1,0 +1,472 @@
+// Mutable layer: LSM-style incremental indexing over the immutable base
+// index.
+//
+// Inserts land in an in-memory delta built with the online Ukkonen
+// construction (internal/suffixtree.OnlineBuilder); every write publishes a
+// new immutable generation snapshot (genState) that searches pin for their
+// whole run.  The delta is searched as one more core.Index provider through
+// shard.ExtraSet, merged into the same score-ordered stream as the base
+// shards.  Deletes write per-sequence tombstones the merger filters (which
+// also shrinks the all-sequences early-stop count).  Compaction folds the
+// frozen memtable into an ordinary single-file disk index and swaps a
+// generation-numbered manifest atomically (disk engines), or rebuilds the
+// base in-memory engine over the live corpus (memory engines).
+//
+// Durability contract (disk engines): inserts and deletes are memory-only
+// until Compact persists them — the engine is an LSM without a WAL.  A crash
+// between a write and the next Compact loses the uncompacted writes but never
+// the on-disk index: the manifest swap is write-temp + fsync + rename, so the
+// directory always opens at its last durable generation.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/diskst"
+	"repro/internal/faultpoint"
+	"repro/internal/seq"
+	"repro/internal/shard"
+	"repro/internal/suffixtree"
+)
+
+// genState is one immutable generation of the engine's index view.  A search
+// loads the pointer once and uses only the snapshot from then on; writers
+// build a fresh genState under wmu and publish it with one atomic store.
+type genState struct {
+	gen  uint64
+	base *shard.Engine
+	db   *seq.Database // base database (nil for disk engines)
+	// ext carries the delta layers and tombstone filter for SearchExtra; nil
+	// while the index is pristine, keeping the zero-cost plain-Search path.
+	ext *shard.ExtraSet
+	// cat is the global catalog over base + delta layers (the base catalog
+	// itself when there are no layers).
+	cat core.Catalog
+
+	numSeqs     int
+	totalRes    int64
+	liveSeqs    int
+	liveRes     int64
+	memSeqs     int
+	memRes      int64
+	deltaLayers int
+	tombstones  int
+}
+
+// MutableStats snapshots the incremental-indexing state for Metrics.
+type MutableStats struct {
+	// Generation is the current index generation; every successful Insert,
+	// Delete and state-changing Compact bumps it, which retargets the result
+	// cache (entries are keyed by generation, so stale streams simply stop
+	// being reachable).
+	Generation uint64 `json:"generation"`
+	// Inserts / Deletes / Compactions count successful mutations since the
+	// engine was built.
+	Inserts     int64 `json:"inserts"`
+	Deletes     int64 `json:"deletes"`
+	Compactions int64 `json:"compactions"`
+	// MemtableSequences / MemtableResidues describe the uncompacted
+	// in-memory delta.
+	MemtableSequences int   `json:"memtable_sequences"`
+	MemtableResidues  int64 `json:"memtable_residues"`
+	// DeltaLayers counts searchable delta layers (compacted disk deltas plus
+	// the memtable snapshot, when non-empty).
+	DeltaLayers int `json:"delta_layers"`
+	// Tombstones counts deleted sequences still physically present.
+	Tombstones int `json:"tombstones"`
+	// LiveSequences / LiveResidues describe the searchable corpus after
+	// tombstone filtering.
+	LiveSequences int   `json:"live_sequences"`
+	LiveResidues  int64 `json:"live_residues"`
+}
+
+// Generation returns the engine's current index generation.
+func (e *Engine) Generation() uint64 { return e.cur().gen }
+
+// initMutable wires the mutable layer under a freshly built base engine and
+// publishes the initial generation.  For disk engines it reopens any delta
+// layers and tombstones recorded in the directory's manifest (generation
+// continues from the manifest's).  On error the layers it opened are closed;
+// the caller closes the base.
+func (e *Engine) initMutable(base *shard.Engine, db *seq.Database, opts Options) error {
+	e.wBase = base
+	e.wDB = db
+	e.indexDir = opts.IndexDir
+	e.poolBytes = opts.PoolBytes
+	e.warmupPages = opts.WarmupPages
+	if opts.IndexDir == "" {
+		mode := shard.PartitionBySequence
+		if opts.PartitionByPrefix {
+			mode = shard.PartitionByPrefix
+		}
+		e.memOpts = shard.Options{Shards: opts.Shards, Workers: opts.ShardWorkers, Partition: mode}
+		return e.publishLocked()
+	}
+	m := base.Disk().Manifest
+	e.manifest = m
+	e.wGen = m.Generation
+	fail := func(err error) error {
+		for _, c := range e.closers {
+			c.Close()
+		}
+		e.closers = nil
+		return err
+	}
+	for _, d := range m.Deltas {
+		idx, err := m.OpenFile(opts.IndexDir, d.File, opts.PoolBytes, opts.WarmupPages)
+		if err != nil {
+			return fail(fmt.Errorf("engine: opening delta layer %s: %w", d.File, err))
+		}
+		e.closers = append(e.closers, idx)
+		e.layers = append(e.layers, shard.ExtraShard{
+			Index:   idx,
+			Globals: append([]int(nil), d.GlobalIndex...),
+		})
+		e.layerSeqs += len(d.GlobalIndex)
+		e.layerRes += d.Residues
+	}
+	if len(m.Tombstones) > 0 {
+		e.tombs = make(map[int]bool, len(m.Tombstones))
+		for _, t := range m.Tombstones {
+			e.tombs[t] = true
+		}
+	}
+	if err := e.publishLocked(); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// baseCountsLocked returns the base corpus's sequence/residue totals.  Disk
+// engines use the manifest's base-only totals (a degraded engine's union
+// catalog can cover less, but the global numbering — and therefore delta
+// global indexes — is defined by the manifest).
+func (e *Engine) baseCountsLocked() (int, int64) {
+	if e.manifest != nil {
+		return e.manifest.NumSequences, e.manifest.TotalResidues
+	}
+	cat := e.wBase.Catalog()
+	return cat.NumSequences(), cat.TotalResidues()
+}
+
+// publishLocked builds and publishes the genState for the writer's current
+// fields.  Caller holds wmu (or is in single-threaded construction).
+func (e *Engine) publishLocked() error {
+	baseSeqs, baseRes := e.baseCountsLocked()
+	extras := append([]shard.ExtraShard(nil), e.layers...)
+	var memSeqs int
+	var memRes int64
+	if e.mem != nil && e.mem.NumSequences() > 0 {
+		tree, mdb, err := e.mem.Snapshot()
+		if err != nil {
+			return err
+		}
+		idx, err := core.NewMemoryIndex(tree, mdb)
+		if err != nil {
+			return err
+		}
+		memSeqs, memRes = e.mem.NumSequences(), e.mem.TotalResidues()
+		globals := make([]int, memSeqs)
+		for i := range globals {
+			globals[i] = baseSeqs + e.layerSeqs + i
+		}
+		extras = append(extras, shard.ExtraShard{Index: idx, Globals: globals})
+	}
+	st := &genState{
+		gen:         e.wGen,
+		base:        e.wBase,
+		db:          e.wDB,
+		numSeqs:     baseSeqs + e.layerSeqs + memSeqs,
+		totalRes:    baseRes + e.layerRes + memRes,
+		memSeqs:     memSeqs,
+		memRes:      memRes,
+		deltaLayers: len(extras),
+		tombstones:  len(e.tombs),
+	}
+	st.cat = e.wBase.Catalog()
+	if len(extras) > 0 {
+		st.cat = shard.NewLayeredCatalog(e.wBase.Catalog(), baseSeqs, baseRes, extras)
+	}
+	st.liveSeqs = st.numSeqs - len(e.tombs)
+	st.liveRes = st.totalRes
+	for g := range e.tombs {
+		st.liveRes -= int64(st.cat.SequenceLength(g))
+	}
+	if len(extras) > 0 || len(e.tombs) > 0 {
+		ext := &shard.ExtraSet{
+			Shards:        extras,
+			LiveSeqs:      st.liveSeqs,
+			TotalResidues: st.liveRes,
+			NumSeqs:       st.numSeqs,
+		}
+		if len(e.tombs) > 0 {
+			tombs := e.tombs // published maps are never mutated (copy-on-write)
+			ext.Drop = func(i int) bool { return tombs[i] }
+		}
+		st.ext = ext
+	}
+	e.state.Store(st)
+	return nil
+}
+
+// ensureIDIndexLocked lazily builds the live SeqID -> global index map writes
+// use for duplicate detection and delete targeting.  Caller holds wmu.
+func (e *Engine) ensureIDIndexLocked() {
+	if e.idIndex != nil {
+		return
+	}
+	st := e.cur() // under wmu this is always the latest published state
+	idx := make(map[string]int, st.liveSeqs)
+	for g := 0; g < st.numSeqs; g++ {
+		if e.tombs[g] {
+			continue
+		}
+		id := st.cat.SequenceID(g)
+		if id == "" { // hole left by a quarantined shard
+			continue
+		}
+		idx[id] = g
+	}
+	e.idIndex = idx
+}
+
+// Insert adds one sequence to the index.  The sequence becomes searchable
+// before Insert returns: it is appended to the in-memory delta (online
+// Ukkonen construction, O(len) amortised), a fresh snapshot is published, and
+// the generation bump retargets the result cache so subsequent identical
+// queries re-run against the new corpus.  The residues are copied; IDs must
+// be unique among live sequences (re-inserting a deleted ID is allowed and
+// assigns a fresh global index).  Disk engines hold inserts in memory until
+// Compact persists them.
+func (e *Engine) Insert(id string, residues []byte) (uint64, error) {
+	if !e.begin() {
+		return 0, ErrClosed
+	}
+	defer e.active.Done()
+	if id == "" {
+		return 0, fmt.Errorf("engine: insert needs a sequence ID")
+	}
+	if len(residues) == 0 {
+		return 0, fmt.Errorf("engine: insert of %q has no residues", id)
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.ensureIDIndexLocked()
+	if _, ok := e.idIndex[id]; ok {
+		return 0, fmt.Errorf("engine: sequence %q already exists", id)
+	}
+	if e.mem == nil {
+		mem, err := suffixtree.NewOnlineBuilder(e.cur().cat.Alphabet())
+		if err != nil {
+			return 0, err
+		}
+		e.mem = mem
+	}
+	res := append([]byte(nil), residues...)
+	if err := e.mem.Append(seq.Sequence{ID: id, Residues: res}); err != nil {
+		return 0, err
+	}
+	baseSeqs, _ := e.baseCountsLocked()
+	e.idIndex[id] = baseSeqs + e.layerSeqs + e.mem.NumSequences() - 1
+	e.wGen++
+	if err := e.publishLocked(); err != nil {
+		return 0, err
+	}
+	e.inserts.Add(1)
+	return e.wGen, nil
+}
+
+// Delete removes the live sequence with the given ID from search results by
+// writing a tombstone: the sequence stays physically present (and remains
+// addressable through Catalog for alignment recovery of older streams) but
+// every subsequent search filters it during the merge, and the all-sequences
+// early stop shrinks accordingly.  The generation bump retargets the result
+// cache.  Disk engines persist tombstones at the next Compact.
+func (e *Engine) Delete(id string) (uint64, error) {
+	if !e.begin() {
+		return 0, ErrClosed
+	}
+	defer e.active.Done()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.ensureIDIndexLocked()
+	g, ok := e.idIndex[id]
+	if !ok {
+		return 0, fmt.Errorf("engine: sequence %q is unknown or already deleted", id)
+	}
+	// Copy-on-write: the published Drop closure captures the old map, which
+	// in-flight searches may still be reading.
+	tombs := make(map[int]bool, len(e.tombs)+1)
+	for k := range e.tombs {
+		tombs[k] = true
+	}
+	tombs[g] = true
+	e.tombs = tombs
+	delete(e.idIndex, id)
+	e.wGen++
+	if err := e.publishLocked(); err != nil {
+		return 0, err
+	}
+	e.deletes.Add(1)
+	return e.wGen, nil
+}
+
+// Compact folds the mutable state down a level and returns the resulting
+// generation (unchanged when there was nothing to do).
+//
+// Disk engines write the frozen memtable as an ordinary single-file delta
+// index next to the base shards — build to a temporary name, fsync, rename —
+// then swap in a manifest with a bumped generation (also atomically), reopen
+// the delta through its own buffer pool and reset the memtable.  A crash (or
+// injected fault at faultpoint.SiteCompactSwap) at any point leaves the
+// previous manifest and files intact.
+//
+// Memory engines rebuild the base engine over the live corpus (dropping
+// tombstoned sequences and folding in the delta, renumbering globals) and
+// reset the mutable state entirely.
+func (e *Engine) Compact() (uint64, error) {
+	if !e.begin() {
+		return 0, ErrClosed
+	}
+	defer e.active.Done()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.indexDir != "" {
+		return e.compactDiskLocked()
+	}
+	return e.compactMemoryLocked()
+}
+
+func (e *Engine) compactDiskLocked() (uint64, error) {
+	memN := 0
+	if e.mem != nil {
+		memN = e.mem.NumSequences()
+	}
+	if memN == 0 && len(e.tombs) == len(e.manifest.Tombstones) {
+		return e.wGen, nil // nothing new to fold or persist
+	}
+	gen := e.wGen + 1
+	m := *e.manifest
+	m.Generation = gen
+	m.Deltas = append([]diskst.DeltaRecord(nil), e.manifest.Deltas...)
+	m.Tombstones = make([]int, 0, len(e.tombs))
+	for g := range e.tombs {
+		m.Tombstones = append(m.Tombstones, g)
+	}
+	sort.Ints(m.Tombstones)
+
+	var newLayer *shard.ExtraShard
+	var memRes int64
+	if memN > 0 {
+		name := fmt.Sprintf("delta-%06d.oasis", gen)
+		mdb, err := seq.NewDatabase(e.cur().cat.Alphabet(), append([]seq.Sequence(nil), e.mem.Sequences()...))
+		if err != nil {
+			return e.wGen, err
+		}
+		memRes = mdb.TotalResidues()
+		tmp := filepath.Join(e.indexDir, name+".tmp")
+		if _, err := diskst.Build(tmp, mdb, diskst.BuildOptions{
+			WriteOptions: diskst.WriteOptions{BlockSize: m.BlockSize},
+		}); err != nil {
+			os.Remove(tmp)
+			return e.wGen, fmt.Errorf("engine: building delta %s: %w", name, err)
+		}
+		// The swap site models a crash after the delta is written but before
+		// it becomes reachable: the old manifest stays authoritative.
+		if err := faultpoint.Hit(faultpoint.SiteCompactSwap, name); err != nil {
+			os.Remove(tmp)
+			return e.wGen, fmt.Errorf("engine: compaction swap: %w", err)
+		}
+		if err := os.Rename(tmp, filepath.Join(e.indexDir, name)); err != nil {
+			os.Remove(tmp)
+			return e.wGen, err
+		}
+		baseSeqs, _ := e.baseCountsLocked()
+		globals := make([]int, memN)
+		for i := range globals {
+			globals[i] = baseSeqs + e.layerSeqs + i
+		}
+		m.Deltas = append(m.Deltas, diskst.DeltaRecord{File: name, GlobalIndex: globals, Residues: memRes})
+		idx, err := e.manifest.OpenFile(e.indexDir, name, e.poolBytes, e.warmupPages)
+		if err != nil {
+			// Manifest not yet written: the directory is still consistent at
+			// the old generation; the new file is an unreachable orphan.
+			return e.wGen, fmt.Errorf("engine: reopening delta %s: %w", name, err)
+		}
+		newLayer = &shard.ExtraShard{Index: idx, Globals: globals}
+	}
+	if err := diskst.WriteManifest(e.indexDir, &m); err != nil {
+		if newLayer != nil {
+			newLayer.Index.(*diskst.Index).Close()
+		}
+		return e.wGen, err
+	}
+	// The new manifest is durable; swap the in-memory view to match.
+	e.manifest = &m
+	if newLayer != nil {
+		e.layers = append(e.layers, *newLayer)
+		e.layerSeqs += memN
+		e.layerRes += memRes
+		e.closers = append(e.closers, newLayer.Index.(*diskst.Index))
+		e.mem = nil
+	}
+	e.wGen = gen
+	if err := e.publishLocked(); err != nil {
+		return e.wGen, err
+	}
+	e.compactions.Add(1)
+	return e.wGen, nil
+}
+
+func (e *Engine) compactMemoryLocked() (uint64, error) {
+	memN := 0
+	if e.mem != nil {
+		memN = e.mem.NumSequences()
+	}
+	if memN == 0 && len(e.tombs) == 0 {
+		return e.wGen, nil // pristine: nothing to fold
+	}
+	baseSeqs, _ := e.baseCountsLocked()
+	var live []seq.Sequence
+	for g, s := range e.wDB.Sequences() {
+		if !e.tombs[g] {
+			live = append(live, s)
+		}
+	}
+	if e.mem != nil {
+		for i, s := range e.mem.Sequences() {
+			if !e.tombs[baseSeqs+i] {
+				live = append(live, s)
+			}
+		}
+	}
+	if len(live) == 0 {
+		return e.wGen, fmt.Errorf("engine: refusing to compact away the last live sequence; the corpus would be empty")
+	}
+	newDB, err := seq.NewDatabase(e.cur().cat.Alphabet(), live)
+	if err != nil {
+		return e.wGen, err
+	}
+	newBase, err := shard.NewEngine(newDB, e.memOpts)
+	if err != nil {
+		return e.wGen, err
+	}
+	// Retire the old base: in-flight searches pinned it, so it is closed
+	// only when the engine closes.
+	e.closers = append(e.closers, e.wBase)
+	e.wBase = newBase
+	e.wDB = newDB
+	e.mem = nil
+	e.tombs = nil
+	e.idIndex = nil // renumbered: rebuild lazily
+	e.wGen++
+	if err := e.publishLocked(); err != nil {
+		return e.wGen, err
+	}
+	e.compactions.Add(1)
+	return e.wGen, nil
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/seq"
+)
+
+// IncrementalRow summarises the incremental-indexing experiment: a warm
+// engine serving the Figure-4 query mix while a writer grows the corpus one
+// sequence at a time through the LSM delta layer.
+type IncrementalRow struct {
+	// BaseSequences / InsertedSequences describe the corpus split: the engine
+	// starts from the base and absorbs the rest online.
+	BaseSequences     int
+	InsertedSequences int
+	// InsertsPerSec is the sustained write throughput under concurrent query
+	// load; InsertTime is the mean wall-clock per Insert call.
+	InsertsPerSec float64
+	InsertTime    time.Duration
+	// Staleness is the write-to-searchable latency, measured for sampled
+	// inserts as the time from the Insert call until a fresh search reports
+	// the new sequence (mean and max over the samples).
+	StalenessMean time.Duration
+	StalenessMax  time.Duration
+	Samples       int
+	// QueriesServed / QueriesPerSec describe the concurrent read side: the
+	// Figure-4 query mix replayed in a loop for the duration of the writes.
+	QueriesServed int64
+	QueriesPerSec float64
+	Hits          int64
+	// Generation is the engine generation after the final insert;
+	// CompactTime is the wall clock of the closing Compact call that folds
+	// the memtable into the base.
+	Generation  uint64
+	CompactTime time.Duration
+}
+
+// Incremental measures the LSM-style mutable layer: an engine is built over
+// all but holdout sequences of the workload database, the Figure-4 query mix
+// is served in a loop, and the held-out sequences are inserted concurrently.
+// Every sampleEvery-th insert is probed with a search drawn from the inserted
+// sequence itself to measure staleness-to-searchable (the delta layer is
+// published synchronously, so this bounds the reader-visible lag end to end).
+func Incremental(lab *Lab, shards, shardWorkers, holdout int) (IncrementalRow, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	all := lab.DB.Sequences()
+	if holdout <= 0 {
+		holdout = len(all) / 5
+	}
+	if holdout < 1 || holdout >= len(all) {
+		return IncrementalRow{}, fmt.Errorf("experiments: holdout %d outside 1..%d", holdout, len(all)-1)
+	}
+	base := all[:len(all)-holdout]
+	inserts := all[len(all)-holdout:]
+	baseDB, err := seq.NewDatabase(lab.DB.Alphabet(), base)
+	if err != nil {
+		return IncrementalRow{}, err
+	}
+	eng, err := engine.New(baseDB, engine.Options{Shards: shards, ShardWorkers: shardWorkers})
+	if err != nil {
+		return IncrementalRow{}, err
+	}
+	defer eng.Close()
+
+	// Reader side: replay the Figure-4 query mix until the writer finishes.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		served, hits atomic.Int64
+		wg           sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			q := lab.Queries[i%len(lab.Queries)]
+			query := engine.Query{
+				ID:       q.ID,
+				Residues: q.Residues,
+				Options: core.Options{
+					Scheme:   lab.Scheme,
+					MinScore: lab.minScoreFor(lab.Config.EValue, len(q.Residues)),
+				},
+			}
+			if _, err := eng.Search(ctx, query, func(core.Hit) bool {
+				hits.Add(1)
+				return true
+			}); err != nil {
+				return
+			}
+			served.Add(1)
+		}
+	}()
+
+	// Writer side: insert the holdout one sequence at a time, sampling the
+	// write-to-searchable latency with a self-probe every few inserts.
+	const sampleEvery = 8
+	var (
+		stalenessSum time.Duration
+		stalenessMax time.Duration
+		samples      int
+	)
+	writeStart := time.Now()
+	for i, s := range inserts {
+		insertStart := time.Now()
+		if _, err := eng.Insert(s.ID, s.Residues); err != nil {
+			cancel()
+			wg.Wait()
+			return IncrementalRow{}, fmt.Errorf("experiments: insert %s: %w", s.ID, err)
+		}
+		if i%sampleEvery != 0 {
+			continue
+		}
+		// Probe with a window of the inserted sequence: an exact self-match
+		// scores far above the threshold, so the probe finding the new ID
+		// proves the sequence is searchable.
+		probe := s.Residues
+		if len(probe) > 16 {
+			probe = probe[len(probe)/2 : len(probe)/2+16]
+		}
+		found := false
+		_, err := eng.Search(context.Background(), engine.Query{
+			ID:       "probe",
+			Residues: probe,
+			Options: core.Options{
+				Scheme:   lab.Scheme,
+				MinScore: lab.minScoreFor(lab.Config.EValue, len(probe)),
+			},
+		}, func(h core.Hit) bool {
+			if h.SeqID == s.ID {
+				found = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return IncrementalRow{}, fmt.Errorf("experiments: staleness probe for %s: %w", s.ID, err)
+		}
+		if !found {
+			cancel()
+			wg.Wait()
+			return IncrementalRow{}, fmt.Errorf("experiments: inserted sequence %s not searchable", s.ID)
+		}
+		lag := time.Since(insertStart)
+		stalenessSum += lag
+		if lag > stalenessMax {
+			stalenessMax = lag
+		}
+		samples++
+	}
+	writeElapsed := time.Since(writeStart)
+	cancel()
+	wg.Wait()
+
+	compactStart := time.Now()
+	gen, err := eng.Compact()
+	if err != nil {
+		return IncrementalRow{}, fmt.Errorf("experiments: closing compact: %w", err)
+	}
+	row := IncrementalRow{
+		BaseSequences:     len(base),
+		InsertedSequences: len(inserts),
+		InsertsPerSec:     float64(len(inserts)) / writeElapsed.Seconds(),
+		InsertTime:        writeElapsed / time.Duration(len(inserts)),
+		StalenessMean:     stalenessSum / time.Duration(samples),
+		StalenessMax:      stalenessMax,
+		Samples:           samples,
+		QueriesServed:     served.Load(),
+		QueriesPerSec:     float64(served.Load()) / writeElapsed.Seconds(),
+		Hits:              hits.Load(),
+		Generation:        gen,
+		CompactTime:       time.Since(compactStart),
+	}
+	return row, nil
+}
+
+// RenderIncremental writes the incremental-indexing experiment as text.
+func RenderIncremental(w io.Writer, row IncrementalRow) {
+	fmt.Fprintln(w, "Incremental indexing — insert throughput and staleness under concurrent query load")
+	fmt.Fprintf(w, "%-9s %-9s %-11s %-12s %-12s %-12s %-12s %-10s\n",
+		"base", "inserted", "inserts/s", "t/insert", "staleness", "stale-max", "queries/s", "compact")
+	fmt.Fprintf(w, "%-9d %-9d %-11.1f %-12s %-12s %-12s %-12.1f %-10s\n",
+		row.BaseSequences, row.InsertedSequences, row.InsertsPerSec, fmtDur(row.InsertTime),
+		fmtDur(row.StalenessMean), fmtDur(row.StalenessMax), row.QueriesPerSec, fmtDur(row.CompactTime))
+	fmt.Fprintf(w, "served %d queries (%d hits) during the write phase; final generation %d\n\n",
+		row.QueriesServed, row.Hits, row.Generation)
+}

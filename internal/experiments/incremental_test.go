@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestIncrementalExperiment runs the incremental-indexing experiment on a
+// tiny workload and checks its structural invariants: the holdout is
+// absorbed, every staleness probe found its sequence (Incremental errors
+// otherwise), and the closing compact folded the memtable.
+func TestIncrementalExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalResidues = 20_000
+	cfg.NumQueries = 6
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+
+	row, err := Incremental(lab, 2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.InsertedSequences != 5 || row.BaseSequences == 0 {
+		t.Fatalf("corpus split %d/%d, want 5 inserted", row.BaseSequences, row.InsertedSequences)
+	}
+	if row.InsertsPerSec <= 0 || row.InsertTime <= 0 {
+		t.Fatalf("no insert throughput: %+v", row)
+	}
+	if row.Samples == 0 || row.StalenessMean <= 0 || row.StalenessMax < row.StalenessMean {
+		t.Fatalf("staleness not measured: %+v", row)
+	}
+	// Every insert bumps the generation once, and the closing compact bumps
+	// it once more.
+	if row.Generation != uint64(row.InsertedSequences)+1 {
+		t.Fatalf("generation %d after %d inserts + compact", row.Generation, row.InsertedSequences)
+	}
+}

@@ -253,6 +253,11 @@ type BenchRecord struct {
 	CellsComputed   int64 `json:"cells_computed"`
 	// Extra carries measurement-specific values (speedups, fractions).
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// GoMaxProcs records the parallelism the measurement ran under (stamped
+	// by WriteBenchJSON), so trajectory tooling can tell a perf regression
+	// from a CI runner with fewer cores — wall-clock comparisons are only
+	// meaningful between records with matching values.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // BenchReport is the top-level BENCH_oasis.json document.
@@ -266,8 +271,15 @@ type BenchReport struct {
 }
 
 // WriteBenchJSON writes the report to path (pretty-printed, trailing
-// newline, suitable for checking in).
+// newline, suitable for checking in).  Every record is stamped with the
+// report's GoMaxProcs so individual measurements stay comparable even when
+// extracted from the document.
 func WriteBenchJSON(path string, report BenchReport) error {
+	for i := range report.Records {
+		if report.Records[i].GoMaxProcs == 0 {
+			report.Records[i].GoMaxProcs = report.GoMaxProcs
+		}
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

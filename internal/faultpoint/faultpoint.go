@@ -72,6 +72,13 @@ const (
 	// SiteServeSearch runs at the start of oasis-serve's search and batch
 	// handlers; error specs model handler-level failures (HTTP 500).
 	SiteServeSearch = "serve.search"
+	// SiteCompactSwap fires during delta compaction, after the new delta
+	// index file has been written to its temporary name but before it is
+	// renamed into place and the new manifest generation lands.  Error specs
+	// model a crash mid-compaction: the old manifest (and every file it
+	// references) must stay intact and openable.  The detail string is the
+	// delta file name.
+	SiteCompactSwap = "compact.swap"
 )
 
 // Mode selects what an active spec does when it triggers.

@@ -6,10 +6,13 @@
 //
 // The paper's online search amortises nothing across queries — every request
 // pays the full banded best-first sweep even when the stream of a previous,
-// identical request is sitting in memory.  Because an OASIS index is
-// immutable after construction, a completed hit stream is valid for the
-// engine's whole lifetime: there is no invalidation problem, only a memory
-// budget, which the LRU enforces in bytes.
+// identical request is sitting in memory.  A cached stream is valid only for
+// the exact index state that produced it, so the key carries the engine's
+// index generation (Key.Gen): every insert, delete or compaction bumps the
+// generation, making entries for older generations unreachable — they age out
+// of the LRU naturally instead of requiring a global flush.  Within one
+// generation the index is immutable and there is no invalidation problem,
+// only a memory budget, which the LRU enforces in bytes.
 //
 // The cache also owns the single-flight table used by internal/engine: when
 // N identical queries are in flight concurrently, one leader runs the search
@@ -47,6 +50,10 @@ const numShards = 16
 type Key struct {
 	// Query is the encoded residue string.
 	Query string
+	// Gen is the index generation the stream was produced against.  Mutable
+	// engines bump it on every write, so stale streams become unreachable
+	// without a flush; immutable engines leave it zero.
+	Gen uint64
 	// Matrix and Gap pin the scoring scheme.
 	Matrix *score.Matrix
 	Gap    int
@@ -63,12 +70,14 @@ type Key struct {
 	DisableLiveBand bool
 }
 
-// NewKey derives the cache key for a search of residues under opts.
-// MaxResults, Stats, Scratch and the cancellation fields are intentionally
-// excluded: they do not change which hits a completed stream contains.
-func NewKey(residues []byte, opts core.Options) Key {
+// NewKey derives the cache key for a search of residues under opts against
+// index generation gen.  MaxResults, Stats, Scratch and the cancellation
+// fields are intentionally excluded: they do not change which hits a
+// completed stream contains.
+func NewKey(residues []byte, opts core.Options, gen uint64) Key {
 	k := Key{
 		Query:           string(residues),
+		Gen:             gen,
 		Matrix:          opts.Scheme.Matrix,
 		Gap:             opts.Scheme.Gap,
 		MinScore:        opts.MinScore,
@@ -95,6 +104,7 @@ func (k *Key) shardIndex() int {
 	}
 	h = (h ^ uint64(uint(k.MinScore))) * prime64
 	h = (h ^ uint64(uint(k.Gap))) * prime64
+	h = (h ^ k.Gen) * prime64
 	return int(h % numShards)
 }
 
@@ -172,9 +182,21 @@ type Stats struct {
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
-	// Insertions and Evictions count Put outcomes over the cache lifetime.
-	Insertions int64 `json:"insertions"`
-	Evictions  int64 `json:"evictions"`
+	// Insertions counts fresh entries; Replacements counts Puts that
+	// overwrote an existing entry for the same key (previously folded into
+	// Insertions, which overstated how many distinct streams were admitted);
+	// Evictions counts LRU removals.
+	Insertions   int64 `json:"insertions"`
+	Replacements int64 `json:"replacements"`
+	Evictions    int64 `json:"evictions"`
+	// Oversized counts streams refused admission because they exceeded the
+	// per-entry budget (MaxEntryBytes); before this counter existed they were
+	// dropped silently.
+	Oversized int64 `json:"oversized"`
+	// InjectedFaults counts Get calls failed by an active faultpoint drill
+	// (OASIS_FAILPOINTS on qcache.get).  They degrade to index searches but
+	// are NOT counted as misses, so HitRate stays meaningful during drills.
+	InjectedFaults int64 `json:"injected_faults"`
 	// FlightWaits counts searches that waited on a concurrent identical
 	// leader instead of running their own DP sweep (single-flight).
 	FlightWaits int64 `json:"flight_waits"`
@@ -183,22 +205,45 @@ type Stats struct {
 // Cache is the sharded LRU plus the single-flight table.  All methods are
 // safe for concurrent use.
 type Cache struct {
-	shards [numShards]cacheShard
+	shards   [numShards]cacheShard
+	maxEntry int64 // per-entry admission budget (a fraction of one stripe)
 
-	hits        atomic.Int64
-	misses      atomic.Int64
-	insertions  atomic.Int64
-	evictions   atomic.Int64
-	flightWaits atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	insertions     atomic.Int64
+	replacements   atomic.Int64
+	evictions      atomic.Int64
+	oversized      atomic.Int64
+	injectedFaults atomic.Int64
+	flightWaits    atomic.Int64
 
 	flightMu sync.Mutex
 	flight   map[Key]chan struct{}
 }
 
+// DefaultEntryFraction is the default per-entry admission budget as a
+// fraction of one lock stripe.  A single stream filling a whole stripe would
+// evict every other entry on that stripe for one giant, rarely-re-asked
+// query; half a stripe keeps at least two resident.
+const DefaultEntryFraction = 0.5
+
 // New builds a cache bounded at maxBytes total (split evenly across the lock
-// stripes).  maxBytes must be positive; engines treat a zero budget as
-// "cache disabled" and never construct one.
+// stripes) with the default per-entry admission fraction.  maxBytes must be
+// positive; engines treat a zero budget as "cache disabled" and never
+// construct one.
 func New(maxBytes int64) *Cache {
+	return NewWithFraction(maxBytes, DefaultEntryFraction)
+}
+
+// NewWithFraction is New with an explicit per-entry admission budget:
+// streams larger than entryFraction of one lock stripe are refused (counted
+// in Stats.Oversized), and MaxEntryBytes reports the budget so leaders stop
+// buffering a too-large stream early instead of accumulating it to the limit
+// first.  Fractions outside (0, 1] fall back to the default.
+func NewWithFraction(maxBytes int64, entryFraction float64) *Cache {
+	if entryFraction <= 0 || entryFraction > 1 {
+		entryFraction = DefaultEntryFraction
+	}
 	c := &Cache{flight: make(map[Key]chan struct{})}
 	per := maxBytes / numShards
 	if per < 1 {
@@ -209,6 +254,10 @@ func New(maxBytes int64) *Cache {
 		c.shards[i].order = list.New()
 		c.shards[i].byKey = make(map[Key]*list.Element)
 	}
+	c.maxEntry = int64(float64(per) * entryFraction)
+	if c.maxEntry < 1 {
+		c.maxEntry = 1
+	}
 	return c
 }
 
@@ -216,10 +265,12 @@ func New(maxBytes int64) *Cache {
 // request for maxResults hits (see Entry.Serves), marking it most recently
 // used.  The returned entry is shared and must be treated as immutable.
 func (c *Cache) Get(key Key, maxResults int) (*Entry, bool) {
-	// An injected cache fault degrades to a miss: the query falls through to
-	// the index, which is always correct (just slower).
+	// An injected cache fault degrades to a miss-shaped answer: the query
+	// falls through to the index, which is always correct (just slower).  It
+	// is counted separately from real misses so fault drills don't corrupt
+	// the hit rate operators alert on.
 	if faultpoint.Hit(faultpoint.SiteCacheGet, "get") != nil {
-		c.misses.Add(1)
+		c.injectedFaults.Add(1)
 		return nil, false
 	}
 	sh := &c.shards[key.shardIndex()]
@@ -239,28 +290,32 @@ func (c *Cache) Get(key Key, maxResults int) (*Entry, bool) {
 	return nil, false
 }
 
-// MaxEntryBytes returns the largest entry the cache can hold (one lock
-// stripe's whole budget).  Callers accumulating a candidate stream can stop
-// buffering once its approximate size (HitSize per hit) exceeds this.
-func (c *Cache) MaxEntryBytes() int64 { return c.shards[0].maxBytes }
+// MaxEntryBytes returns the per-entry admission budget (the configured
+// fraction of one lock stripe).  Callers accumulating a candidate stream
+// stop buffering once its approximate size (HitSize per hit) exceeds this,
+// instead of holding a stream Put would refuse anyway.
+func (c *Cache) MaxEntryBytes() int64 { return c.maxEntry }
 
 // Put inserts (or replaces) the stream for key and evicts least-recently
 // used entries until the stripe fits its budget.  Streams larger than the
-// stripe budget are not cached at all.  The caller transfers ownership of
-// entry.Hits: it must not be mutated afterwards.
+// per-entry budget are refused and counted in Stats.Oversized.  The caller
+// transfers ownership of entry.Hits: it must not be mutated afterwards.
 func (c *Cache) Put(key Key, entry *Entry) {
 	entry.size = entrySize(&key, entry)
 	sh := &c.shards[key.shardIndex()]
-	if entry.size > sh.maxBytes {
+	if entry.size > c.maxEntry {
+		c.oversized.Add(1)
 		return
 	}
 	sh.mu.Lock()
+	replaced := false
 	if el, ok := sh.byKey[key]; ok {
 		old := el.Value.(*shardEntry)
 		sh.bytes -= old.entry.size
 		old.entry = entry
 		sh.bytes += entry.size
 		sh.order.MoveToFront(el)
+		replaced = true
 	} else {
 		sh.byKey[key] = sh.order.PushFront(&shardEntry{key: key, entry: entry})
 		sh.bytes += entry.size
@@ -275,7 +330,11 @@ func (c *Cache) Put(key Key, entry *Entry) {
 		evicted++
 	}
 	sh.mu.Unlock()
-	c.insertions.Add(1)
+	if replaced {
+		c.replacements.Add(1)
+	} else {
+		c.insertions.Add(1)
+	}
 	c.evictions.Add(int64(evicted))
 }
 
@@ -311,11 +370,14 @@ func (c *Cache) End(key Key) {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Insertions:  c.insertions.Load(),
-		Evictions:   c.evictions.Load(),
-		FlightWaits: c.flightWaits.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Insertions:     c.insertions.Load(),
+		Replacements:   c.replacements.Load(),
+		Evictions:      c.evictions.Load(),
+		Oversized:      c.oversized.Load(),
+		InjectedFaults: c.injectedFaults.Load(),
+		FlightWaits:    c.flightWaits.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

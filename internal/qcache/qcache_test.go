@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/score"
 )
 
@@ -13,7 +14,7 @@ func testKey(query string, minScore int) Key {
 	return NewKey([]byte(query), core.Options{
 		Scheme:   score.MustScheme(score.ByName("PAM30"), -10),
 		MinScore: minScore,
-	})
+	}, 0)
 }
 
 func testEntry(nHits int, complete bool) *Entry {
@@ -35,7 +36,7 @@ func TestKeyNormalization(t *testing.T) {
 	// MaxResults, Stats, Scratch and cancellation knobs must not split keys.
 	kaCopy := ka
 	same := core.Options{Scheme: scheme, MinScore: 7, KA: &kaCopy, MaxResults: 3, Stats: &st, CancelPollColumns: 8}
-	if NewKey([]byte("AC"), base) != NewKey([]byte("AC"), same) {
+	if NewKey([]byte("AC"), base, 0) != NewKey([]byte("AC"), same, 0) {
 		t.Fatal("result-equivalent options produced different keys")
 	}
 	// Everything result-affecting must split keys.
@@ -45,12 +46,17 @@ func TestKeyNormalization(t *testing.T) {
 		"gap":       {Scheme: score.MustScheme(score.ByName("PAM30"), -11), MinScore: 7, KA: &ka},
 		"matrix":    {Scheme: score.MustScheme(score.ByName("BLOSUM62"), -10), MinScore: 7, KA: &ka},
 	} {
-		if NewKey([]byte("AC"), base) == NewKey([]byte("AC"), other) {
+		if NewKey([]byte("AC"), base, 0) == NewKey([]byte("AC"), other, 0) {
 			t.Fatalf("%s: result-affecting option did not change the key", name)
 		}
 	}
-	if NewKey([]byte("AC"), base) == NewKey([]byte("AD"), base) {
+	if NewKey([]byte("AC"), base, 0) == NewKey([]byte("AD"), base, 0) {
 		t.Fatal("different queries share a key")
+	}
+	// A generation bump must split keys: streams from an older index state
+	// become unreachable instead of being served stale.
+	if NewKey([]byte("AC"), base, 1) == NewKey([]byte("AC"), base, 2) {
+		t.Fatal("different index generations share a key")
 	}
 }
 
@@ -104,6 +110,65 @@ func TestLRUEvictionBoundsBytes(t *testing.T) {
 	}
 }
 
+func TestPutCounters(t *testing.T) {
+	c := New(1 << 20)
+	k := testKey("COUNT", 5)
+	c.Put(k, testEntry(2, false))
+	c.Put(k, testEntry(4, true)) // same key: a replacement, not an insertion
+	c.Put(testKey("OTHER", 5), testEntry(2, true))
+	st := c.Stats()
+	if st.Insertions != 2 {
+		t.Fatalf("Insertions = %d, want 2 (replacement counted as insertion?)", st.Insertions)
+	}
+	if st.Replacements != 1 {
+		t.Fatalf("Replacements = %d, want 1", st.Replacements)
+	}
+	// An oversized stream is refused and counted, leaving residency alone.
+	before := c.Stats().Bytes
+	c.Put(testKey("HUGE", 5), testEntry(100000, true))
+	st = c.Stats()
+	if st.Oversized != 1 {
+		t.Fatalf("Oversized = %d, want 1", st.Oversized)
+	}
+	if st.Bytes != before {
+		t.Fatalf("oversized Put changed residency: %d -> %d", before, st.Bytes)
+	}
+	if st.Insertions != 2 || st.Replacements != 1 {
+		t.Fatalf("oversized Put leaked into Insertions/Replacements: %+v", st)
+	}
+}
+
+func TestEntryFractionBoundsAdmission(t *testing.T) {
+	budget := int64(numShards * 100 << 10)
+	half := NewWithFraction(budget, 0.5)
+	full := NewWithFraction(budget, 1.0)
+	if half.MaxEntryBytes() >= full.MaxEntryBytes() {
+		t.Fatalf("fraction 0.5 budget %d not below 1.0 budget %d", half.MaxEntryBytes(), full.MaxEntryBytes())
+	}
+	if want := full.MaxEntryBytes() / 2; half.MaxEntryBytes() != want {
+		t.Fatalf("fraction 0.5 budget = %d, want %d", half.MaxEntryBytes(), want)
+	}
+	// A stream between the two budgets is admitted at 1.0 but refused at 0.5.
+	nHits := int(half.MaxEntryBytes()/hitSize) + 10
+	k := testKey("MID", 5)
+	half.Put(k, testEntry(nHits, true))
+	full.Put(k, testEntry(nHits, true))
+	if _, ok := half.Get(k, 0); ok {
+		t.Fatal("stream above the fraction budget was admitted")
+	}
+	if _, ok := full.Get(k, 0); !ok {
+		t.Fatal("stream within the full-stripe budget was refused")
+	}
+	if half.Stats().Oversized != 1 {
+		t.Fatalf("Oversized = %d, want 1", half.Stats().Oversized)
+	}
+	// Out-of-range fractions fall back to the default rather than disabling
+	// admission or overflowing a stripe.
+	if got := NewWithFraction(budget, -1).MaxEntryBytes(); got != New(budget).MaxEntryBytes() {
+		t.Fatalf("invalid fraction budget = %d, want default %d", got, New(budget).MaxEntryBytes())
+	}
+}
+
 func TestLRUKeepsRecentlyUsed(t *testing.T) {
 	c := New(numShards * 2048) // tiny: a few entries per stripe
 	hot := testKey("HOT", 5)
@@ -113,6 +178,36 @@ func TestLRUKeepsRecentlyUsed(t *testing.T) {
 			t.Fatalf("hot entry evicted after %d inserts despite constant use", i)
 		}
 		c.Put(testKey(fmt.Sprintf("COLD%04d", i), 5), testEntry(2, true))
+	}
+}
+
+// Injected cache faults must show up in InjectedFaults, not Misses: a fault
+// drill that failed every Get used to crater the reported hit rate even
+// though the cache itself was healthy.
+func TestInjectedFaultsNotCountedAsMisses(t *testing.T) {
+	defer faultpoint.Reset()
+	c := New(1 << 20)
+	k := testKey("FAULT", 5)
+	c.Put(k, testEntry(2, true))
+	if _, ok := c.Get(k, 0); !ok {
+		t.Fatal("warm entry missed before the drill")
+	}
+	faultpoint.Enable(faultpoint.SiteCacheGet, faultpoint.Spec{Mode: faultpoint.ModeError})
+	for i := 0; i < 10; i++ {
+		if _, ok := c.Get(k, 0); ok {
+			t.Fatal("Get served during an error drill")
+		}
+	}
+	faultpoint.Reset()
+	st := c.Stats()
+	if st.InjectedFaults != 10 {
+		t.Fatalf("InjectedFaults = %d, want 10", st.InjectedFaults)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("injected faults leaked into Misses (%d): drills corrupt the hit rate", st.Misses)
+	}
+	if st.HitRate != 1 {
+		t.Fatalf("HitRate = %v during drill, want 1 (only the one real hit counted)", st.HitRate)
 	}
 }
 

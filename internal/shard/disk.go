@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -22,14 +23,23 @@ type DiskOptions struct {
 	// WarmupPages controls open-time buffer-pool warm-up per shard
 	// (0 = diskst.DefaultWarmupPages, negative = disabled).
 	WarmupPages int
+	// BaseOnly opens only the base shards, ignoring any delta layers and
+	// tombstones the manifest records.  The warm engine layer sets it: it
+	// reopens the mutable layer itself so writes can continue; every other
+	// consumer leaves it false and gets the manifest's full live corpus.
+	BaseOnly bool
 }
 
 // OpenDiskEngine opens a sharded on-disk index directory (written by
 // diskst.BuildSharded / oasis-build -shards) and assembles a sharded engine
 // over it: every shard searches its own diskst.Index through its own buffer
 // pool, so a query's shard fan-out also fans out page I/O, and the engine
-// never needs the source database in memory.  The returned engine owns the
-// index files; call Close when done serving.
+// never needs the source database in memory.  Delta layers and tombstones
+// recorded by the manifest (compactions of the engine layer's mutable
+// memtable) are opened too and folded into every search, so the engine
+// serves the manifest's live corpus — unless DiskOptions.BaseOnly asks for
+// the base generation alone.  The returned engine owns the index files; call
+// Close when done serving.
 func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
 	disk, err := diskst.OpenSharded(dir, diskst.OpenOptions{
 		PoolBytesPerShard: opts.PoolBytesPerShard,
@@ -73,7 +83,67 @@ func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
 		return nil, err
 	}
 	e.disk = disk
+	if !opts.BaseOnly {
+		if err := e.attachManifestDeltas(dir, opts); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// attachManifestDeltas folds the manifest's compacted delta layers and
+// tombstones into a standing mutable set, so every search over the reopened
+// engine serves the live corpus the manifest describes — compacted inserts
+// included, deleted sequences filtered — exactly like the engine that wrote
+// it.  The engine's catalog becomes the layered base+delta catalog (delta
+// hits resolve IDs, E-values use live totals).
+func (e *Engine) attachManifestDeltas(dir string, opts DiskOptions) error {
+	m := e.disk.Manifest
+	if len(m.Deltas) == 0 && len(m.Tombstones) == 0 {
+		return nil
+	}
+	var extras []ExtraShard
+	deltaSeqs, deltaRes := 0, int64(0)
+	for _, d := range m.Deltas {
+		idx, err := m.OpenFile(dir, d.File, opts.PoolBytesPerShard, opts.WarmupPages)
+		if err != nil {
+			return fmt.Errorf("shard: opening delta layer %s: %w", d.File, err)
+		}
+		e.closers = append(e.closers, idx)
+		extras = append(extras, ExtraShard{
+			Index:   idx,
+			Globals: append([]int(nil), d.GlobalIndex...),
+		})
+		deltaSeqs += len(d.GlobalIndex)
+		deltaRes += d.Residues
+	}
+	cat := e.cat
+	if len(extras) > 0 {
+		cat = NewLayeredCatalog(e.cat, m.NumSequences, m.TotalResidues, extras)
+	}
+	numSeqs := m.NumSequences + deltaSeqs
+	totalRes := m.TotalResidues + deltaRes
+	liveRes := totalRes
+	ext := &ExtraSet{
+		Shards:   extras,
+		LiveSeqs: numSeqs - len(m.Tombstones),
+		NumSeqs:  numSeqs,
+	}
+	if len(m.Tombstones) > 0 {
+		tombs := make(map[int]bool, len(m.Tombstones))
+		for _, t := range m.Tombstones {
+			tombs[t] = true
+			liveRes -= int64(cat.SequenceLength(t))
+		}
+		ext.Drop = func(i int) bool { return tombs[i] }
+	}
+	ext.TotalResidues = liveRes
+	e.cat = cat
+	e.numSeqs = numSeqs
+	e.total = totalRes
+	e.mutable = ext
+	return nil
 }
 
 // Disk returns the engine's on-disk shard set (buffer-pool statistics,

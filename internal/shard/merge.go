@@ -39,11 +39,20 @@ type merger struct {
 	shardStats []core.Stats
 	opts       core.Options
 	report     func(core.Hit) bool
-	totalRes   int64 // global residue count for E-values
+	totalRes   int64 // live residue count for E-values
 	queryLen   int
-	nEmitted   int
-	nDone      int
-	err        error
+	// drop filters tombstoned sequences out of the merged stream (nil when
+	// the engine has no deletions in flight).
+	drop func(seqIndex int) bool
+	// stopAt is the all-sequences early-stop count: once stopAt distinct
+	// sequences have been emitted nothing the shards still hold can survive,
+	// so the stream ends.  It is the LIVE (non-tombstoned) sequence count —
+	// using the static global count would over-wait forever on a corpus with
+	// deletions.  0 disables the stop.
+	stopAt   int
+	nEmitted int
+	nDone    int
+	err      error
 	// degraded lists shards quarantined mid-query: their worker failed with a
 	// non-fatal error, their bound was dropped and their un-emitted pending
 	// hits purged, and the stream completed from the survivors.
@@ -54,7 +63,7 @@ type merger struct {
 // given initial frontier bound.  A non-nil dedup (acquired for the global
 // sequence count) enables sequence-level deduplication.
 func newMerger(bounds []int, opts core.Options, totalRes int64, queryLen int, dedup *dedupSet, report func(core.Hit) bool) *merger {
-	return &merger{
+	m := &merger{
 		bounds:     bounds,
 		done:       make([]bool, len(bounds)),
 		dedup:      dedup,
@@ -64,6 +73,10 @@ func newMerger(bounds []int, opts core.Options, totalRes int64, queryLen int, de
 		totalRes:   totalRes,
 		queryLen:   queryLen,
 	}
+	if dedup != nil {
+		m.stopAt = dedup.n
+	}
+	return m
 }
 
 // dedupSet tracks emitted sequences across one merged query.  Like
@@ -193,6 +206,9 @@ func (m *merger) emitReady() bool {
 			}
 		}
 		h := heap.Pop(&m.pending).(shardHit).Hit
+		if m.drop != nil && m.drop(h.SeqIndex) {
+			continue // tombstoned: the sequence was deleted
+		}
 		if m.dedup != nil && !m.dedup.markNew(h.SeqIndex) {
 			continue // a better copy of this sequence was already emitted
 		}
@@ -207,10 +223,11 @@ func (m *merger) emitReady() bool {
 		if m.opts.MaxResults > 0 && m.nEmitted >= m.opts.MaxResults {
 			return false
 		}
-		if m.dedup != nil && m.nEmitted >= m.dedup.n {
-			// Every database sequence has been emitted; nothing the shards
-			// still hold can survive deduplication (mirrors the single
-			// searcher's all-sequences-reported early stop).
+		if m.stopAt > 0 && m.nEmitted >= m.stopAt {
+			// Every live database sequence has been emitted; nothing the
+			// shards still hold can survive deduplication or the tombstone
+			// filter (mirrors the single searcher's all-sequences-reported
+			// early stop).
 			return false
 		}
 	}

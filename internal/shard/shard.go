@@ -127,6 +127,13 @@ type Engine struct {
 	// mid-query over the engine's lifetime (metrics).
 	standing    []core.ShardError
 	quarantines atomic.Int64
+	// mutable is a standing mutable-layer context folded into every plain
+	// Search: OpenDiskEngine sets it when the directory's manifest records
+	// compacted delta layers or tombstones, so a reopened index serves the
+	// manifest's full live corpus, not just the base generation.  The engine
+	// layer manages its own per-query ExtraSet instead (DiskOptions.BaseOnly)
+	// and leaves this nil.
+	mutable *ExtraSet
 }
 
 // IndexSet describes prebuilt per-shard indexes for NewEngineFromSet.  It is
@@ -344,6 +351,43 @@ func (e *Engine) Shard(i int) core.Index {
 	return e.indexes[i]
 }
 
+// ExtraShard is one additional index searched alongside the engine's own
+// shards: the engine layer's LSM delta layers (the in-memory memtable
+// snapshot and compacted delta files) plug in here.  An extra shard covers a
+// sequence subset disjoint from the base shards and from every other extra;
+// Globals maps its shard-local sequence indexes into the global space.
+type ExtraShard struct {
+	Index   core.Index
+	Globals []int
+}
+
+// ExtraSet is the per-query mutable-layer context for SearchExtra: the delta
+// shards to merge in, the tombstone filter, and the live corpus totals that
+// replace the engine's static ones.
+type ExtraSet struct {
+	// Shards are the delta providers merged into the base stream.
+	Shards []ExtraShard
+	// Drop reports whether a global sequence index is tombstoned; matching
+	// hits are filtered out of the merged stream.  nil means no deletions.
+	Drop func(seqIndex int) bool
+	// LiveSeqs is the live (non-tombstoned) sequence count across base and
+	// deltas; it replaces the static global count in the merger's
+	// all-sequences early stop.  0 disables the stop.
+	LiveSeqs int
+	// TotalResidues is the live residue count used for E-values (0 keeps the
+	// engine's base total).
+	TotalResidues int64
+	// NumSeqs is the total global sequence-index space (base + deltas,
+	// including tombstoned holes), sizing the deduplication set.  0 keeps the
+	// engine's base count.
+	NumSeqs int
+}
+
+// empty reports whether the set changes anything about a base-only search.
+func (x *ExtraSet) empty() bool {
+	return x == nil || (len(x.Shards) == 0 && x.Drop == nil)
+}
+
 // event is one message from a shard goroutine to the merger.
 type event struct {
 	shard int
@@ -368,15 +412,13 @@ const (
 // Stats.Add; hit ranks are assigned by the merger.  Returning false from
 // report cancels every shard search.
 func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) bool) error {
-	if len(e.standing) > 0 {
-		if opts.StrictShards {
-			return fmt.Errorf("shard: %d shard(s) quarantined at open (first: %s) and StrictShards is set",
-				len(e.standing), e.standing[0].Err)
-		}
-		if opts.Stats != nil {
-			opts.Stats.Degraded = true
-			opts.Stats.ShardErrors = append(opts.Stats.ShardErrors, e.standing...)
-		}
+	if !e.mutable.empty() {
+		// The directory carried compacted deltas and/or tombstones: every
+		// search merges them in so the stream reflects the live corpus.
+		return e.SearchExtra(query, opts, e.mutable, report)
+	}
+	if err := e.applyStanding(opts); err != nil {
+		return err
 	}
 	if e.nShards == 1 {
 		// One shard is the single-index search; skip the merge machinery.
@@ -405,6 +447,46 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 	return e.searchSequence(query, opts, report)
 }
 
+// SearchExtra is Search with the engine layer's mutable context merged in:
+// delta shards stream alongside the base shards, tombstoned sequences are
+// filtered, and the live totals drive E-values and the all-sequences early
+// stop.  With an empty set it is exactly Search.  Extra streams always go
+// through the merge machinery (even on a single-shard engine), so the merged
+// stream keeps the globally decreasing-score property and deterministic tie
+// release.
+func (e *Engine) SearchExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool) error {
+	if ext.empty() {
+		return e.Search(query, opts, report)
+	}
+	if err := e.applyStanding(opts); err != nil {
+		return err
+	}
+	if err := opts.Scheme.Validate(); err != nil {
+		return err
+	}
+	if e.mode == PartitionByPrefix && e.nShards > 1 {
+		return e.searchPrefixExtra(query, opts, ext, report)
+	}
+	return e.searchSequenceExtra(query, opts, ext, report)
+}
+
+// applyStanding folds open-time quarantines into the query: strict mode
+// refuses to serve, otherwise the query is marked degraded by them.
+func (e *Engine) applyStanding(opts core.Options) error {
+	if len(e.standing) == 0 {
+		return nil
+	}
+	if opts.StrictShards {
+		return fmt.Errorf("shard: %d shard(s) quarantined at open (first: %s) and StrictShards is set",
+			len(e.standing), e.standing[0].Err)
+	}
+	if opts.Stats != nil {
+		opts.Stats.Degraded = true
+		opts.Stats.ShardErrors = append(opts.Stats.ShardErrors, e.standing...)
+	}
+	return nil
+}
+
 // shardSearchFn runs one shard's search with the prepared per-shard options,
 // forwarding hits (with global sequence indexes) and frontier bounds to the
 // supplied callbacks.
@@ -413,10 +495,25 @@ type shardSearchFn func(s int, shardOpts core.Options, hit func(core.Hit) bool, 
 // searchSequence is the PartitionBySequence multi-shard search: independent
 // per-shard indexes, disjoint sequence subsets, no deduplication needed.
 func (e *Engine) searchSequence(query []byte, opts core.Options, report func(core.Hit) bool) error {
-	// Every shard starts from the same root frontier: the strongest f any
-	// search over this query can hold (max heuristic among unpruned query
-	// positions).  Using it as the initial bound lets the merger reason
-	// about shards the worker pool has not scheduled yet.
+	bounds := make([]int, e.nShards)
+	rb := e.rootBound(query, opts)
+	for s := range bounds {
+		bounds[s] = rb
+	}
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, nil, report, nil,
+		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+			globals := e.globals[s]
+			return core.SearchStream(e.indexes[s], query, shardOpts, func(h core.Hit) bool {
+				h.SeqIndex = globals[h.SeqIndex]
+				return hit(h)
+			}, frontier)
+		})
+}
+
+// rootBound is the strongest f any search over this query can hold (max
+// heuristic among unpruned query positions): the initial frontier bound for
+// every stream the worker pool has not scheduled yet.
+func (e *Engine) rootBound(query []byte, opts core.Options) int {
 	rootBound := score.NegInf
 	if e.queryAl.ValidCodes(query) && opts.Scheme.Matrix.Alphabet() == e.queryAl {
 		for _, hi := range core.HeuristicVector(query, opts.Scheme.Matrix) {
@@ -425,18 +522,43 @@ func (e *Engine) searchSequence(query []byte, opts core.Options, report func(cor
 			}
 		}
 	}
-	bounds := make([]int, e.nShards)
+	return rootBound
+}
+
+// searchSequenceExtra merges the base shards (sequence mode, or the shared
+// index of a single-shard prefix engine) with the delta shards.  All streams
+// are sequence-disjoint, so no deduplication is needed; with tombstones in
+// play the per-shard MaxResults budget is cleared — a shard could otherwise
+// exhaust it on hits the merger then drops, starving live hits it never got
+// to report.
+func (e *Engine) searchSequenceExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool) error {
+	rb := e.rootBound(query, opts)
+	bounds := make([]int, e.nShards+len(ext.Shards))
 	for s := range bounds {
-		bounds[s] = rootBound
+		bounds[s] = rb
 	}
-	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, report, nil,
+	clearMax := ext.Drop != nil
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, ext, report, nil,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
-			globals := e.globals[s]
-			return core.SearchStream(e.indexes[s], query, shardOpts, func(h core.Hit) bool {
+			if clearMax {
+				shardOpts.MaxResults = 0
+			}
+			idx, globals := e.index(s, ext)
+			return core.SearchStream(idx, query, shardOpts, func(h core.Hit) bool {
 				h.SeqIndex = globals[h.SeqIndex]
 				return hit(h)
 			}, frontier)
 		})
+}
+
+// index resolves stream s to its index and global map: base shards first,
+// then the extra (delta) shards.
+func (e *Engine) index(s int, ext *ExtraSet) (core.Index, []int) {
+	if s < e.nShards {
+		return e.indexes[s], e.globals[s]
+	}
+	x := ext.Shards[s-e.nShards]
+	return x.Index, x.Globals
 }
 
 // searchPrefix is the PartitionByPrefix multi-shard search: one shared
@@ -465,7 +587,7 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 	dedup := e.dedups.Get()
 	dedup.acquire(e.numSeqs)
 	defer e.dedups.Put(dedup)
-	return e.fanOutMerge(query, opts, fr.Bounds, dedup, fr.Stats, report,
+	return e.fanOutMerge(query, opts, fr.Bounds, dedup, fr.Stats, nil, report,
 		func(s int) bool { return len(fr.Seeds[s]) == 0 },
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			// The merger truncates the merged stream; a per-shard MaxResults
@@ -474,6 +596,55 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 			// never got to report.
 			shardOpts.MaxResults = 0
 			return core.SearchSeedsStream(e.views[s], query, shardOpts, fr.Seeds[s], hit, frontier)
+		})
+}
+
+// searchPrefixExtra is searchPrefix with the delta shards merged in: the
+// shared near-root expansion still runs once over the base index only, while
+// each delta (its own small suffix tree) streams through core.SearchStream
+// from the query root bound.  Deduplication covers the full global space —
+// base sequences may repeat across prefix shards; delta sequences appear in
+// exactly one stream but flow through the same set harmlessly.
+func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool) error {
+	frOpts := opts
+	frOpts.KA = nil
+	frOpts.Stats = nil
+	var pooled *core.Scratch
+	if frOpts.Scratch == nil {
+		pooled = e.scratch.Get()
+		frOpts.Scratch = pooled
+	}
+	fr, err := core.ExpandFrontier(e.frontier, query, frOpts, e.prefixes)
+	if pooled != nil {
+		e.scratch.Put(pooled)
+	}
+	if err != nil {
+		return err
+	}
+	rb := e.rootBound(query, opts)
+	bounds := append(append(make([]int, 0, e.nShards+len(ext.Shards)), fr.Bounds...), make([]int, len(ext.Shards))...)
+	for s := e.nShards; s < len(bounds); s++ {
+		bounds[s] = rb
+	}
+	n := e.numSeqs
+	if ext.NumSeqs > n {
+		n = ext.NumSeqs
+	}
+	dedup := e.dedups.Get()
+	dedup.acquire(n)
+	defer e.dedups.Put(dedup)
+	return e.fanOutMerge(query, opts, bounds, dedup, fr.Stats, ext, report,
+		func(s int) bool { return s < e.nShards && len(fr.Seeds[s]) == 0 },
+		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+			shardOpts.MaxResults = 0
+			if s < e.nShards {
+				return core.SearchSeedsStream(e.views[s], query, shardOpts, fr.Seeds[s], hit, frontier)
+			}
+			x := ext.Shards[s-e.nShards]
+			return core.SearchStream(x.Index, query, shardOpts, func(h core.Hit) bool {
+				h.SeqIndex = x.Globals[h.SeqIndex]
+				return hit(h)
+			}, frontier)
 		})
 }
 
@@ -487,14 +658,17 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 // no-op searcher setup.  extraStats (the prefix mode's shared frontier
 // work) and the per-shard counters are merged into opts.Stats once every
 // shard has unwound.
-func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedup *dedupSet, extraStats core.Stats, report func(core.Hit) bool, idle func(s int) bool, search shardSearchFn) error {
-	// The buffer holds at least one event per shard, so the idle-shard
-	// completions below never block before the merger starts draining.
-	events := make(chan event, 4*e.nShards+16)
+func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedup *dedupSet, extraStats core.Stats, ext *ExtraSet, report func(core.Hit) bool, idle func(s int) bool, search shardSearchFn) error {
+	// len(bounds) counts every stream: the engine's own shards plus any
+	// extra (delta) shards appended after them.  The buffer holds at least
+	// one event per stream, so the idle-shard completions below never block
+	// before the merger starts draining.
+	nStreams := len(bounds)
+	events := make(chan event, 4*nStreams+16)
 	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.workers)
-	for s := 0; s < e.nShards; s++ {
+	for s := 0; s < nStreams; s++ {
 		if idle != nil && idle(s) {
 			events <- event{shard: s, kind: evDone}
 			continue
@@ -508,6 +682,13 @@ func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedu
 		}(s)
 	}
 	m := newMerger(bounds, opts, e.total, len(query), dedup, report)
+	if ext != nil {
+		m.drop = ext.Drop
+		if ext.TotalResidues > 0 {
+			m.totalRes = ext.TotalResidues
+		}
+		m.stopAt = ext.LiveSeqs
+	}
 	err := m.run(events, &cancelled)
 	wg.Wait()
 	if len(m.degraded) > 0 {
@@ -527,17 +708,24 @@ func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedu
 }
 
 // acquireWorker/releaseWorker wrap the worker-pool semaphore with the
-// queue-depth accounting.
+// queue-depth accounting.  Extra (delta) streams share the semaphore but not
+// the per-shard depth counters, which size to the engine's own shards.
 func (e *Engine) acquireWorker(s int, sem chan struct{}) {
-	e.queued[s].Add(1)
+	if s < len(e.queued) {
+		e.queued[s].Add(1)
+		defer func() {
+			e.queued[s].Add(-1)
+			e.active[s].Add(1)
+		}()
+	}
 	sem <- struct{}{}
-	e.queued[s].Add(-1)
-	e.active[s].Add(1)
 }
 
 func (e *Engine) releaseWorker(s int, sem chan struct{}) {
 	<-sem
-	e.active[s].Add(-1)
+	if s < len(e.active) {
+		e.active[s].Add(-1)
+	}
 }
 
 // runShardStream executes one shard's search and adapts it into merger

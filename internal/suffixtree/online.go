@@ -1,0 +1,88 @@
+package suffixtree
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// OnlineBuilder grows a generalized suffix tree one whole sequence at a time
+// using Ukkonen's online construction — the same algorithm BuildUkkonen runs
+// in one shot, kept resident between appends.  It backs the engine's mutable
+// delta shard: inserts extend the builder in O(len) amortised, and Snapshot
+// freezes the current state into an immutable Tree + Database pair that can
+// be searched while further appends continue.
+//
+// Snapshot is cheap relative to a rebuild: freeze only walks the builder's
+// node table (it never mutates it), so repeated snapshots are safe.  The
+// builder itself is not goroutine-safe; callers serialise Append/Snapshot
+// (the engine does so under its writer lock) and treat each snapshot as
+// immutable.
+type OnlineBuilder struct {
+	alphabet *seq.Alphabet
+	b        *ukkonenBuilder
+	seqs     []seq.Sequence
+	total    int64
+}
+
+// NewOnlineBuilder returns an empty builder over the alphabet.
+func NewOnlineBuilder(a *seq.Alphabet) (*OnlineBuilder, error) {
+	if a == nil {
+		return nil, fmt.Errorf("suffixtree: nil alphabet")
+	}
+	return &OnlineBuilder{alphabet: a, b: newUkkonenBuilder(nil)}, nil
+}
+
+// NumSequences returns how many sequences have been appended.
+func (o *OnlineBuilder) NumSequences() int { return len(o.seqs) }
+
+// TotalResidues returns the residues appended so far (excluding terminators).
+func (o *OnlineBuilder) TotalResidues() int64 { return o.total }
+
+// Sequences returns the appended sequences in order (not a copy).
+func (o *OnlineBuilder) Sequences() []seq.Sequence { return o.seqs }
+
+// Append extends the tree with one whole sequence.  The terminator is given a
+// distinct virtual symbol (alphabet size + sequence index), exactly as
+// virtualSymbols does for the batch construction, so the tree stays properly
+// generalized: Ukkonen's remainder drains to zero at every sequence boundary
+// because the fresh terminator matches no existing edge.
+func (o *OnlineBuilder) Append(s seq.Sequence) error {
+	if !o.alphabet.ValidCodes(s.Residues) {
+		return fmt.Errorf("suffixtree: sequence %q contains codes outside alphabet %q", s.ID, o.alphabet.Name())
+	}
+	start := len(o.b.text)
+	for _, c := range s.Residues {
+		o.b.text = append(o.b.text, int32(c))
+	}
+	o.b.text = append(o.b.text, int32(o.alphabet.Size())+int32(len(o.seqs)))
+	for pos := start; pos < len(o.b.text); pos++ {
+		o.b.extend(pos)
+	}
+	if o.b.remainder != 0 {
+		return fmt.Errorf("suffixtree: internal error: remainder %d after sequence boundary", o.b.remainder)
+	}
+	o.seqs = append(o.seqs, s)
+	o.total += int64(len(s.Residues))
+	return nil
+}
+
+// Snapshot freezes the current builder state into an immutable Tree over a
+// fresh Database of the appended sequences.  The returned pair is
+// independent of subsequent Appends.
+func (o *OnlineBuilder) Snapshot() (*Tree, *seq.Database, error) {
+	db, err := seq.NewDatabase(o.alphabet, append([]seq.Sequence(nil), o.seqs...))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(o.seqs) == 0 {
+		t := &Tree{db: db, text: db.Concat(), nodes: []node{{parent: NoNode, firstChild: NoNode, nextSibling: NoNode, suffixStart: -1}}}
+		t.numInternal = 1
+		return t, db, nil
+	}
+	tree, err := o.b.freeze(db, db.Concat())
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, db, nil
+}

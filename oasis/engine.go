@@ -179,6 +179,44 @@ func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }
 // reports Degraded with these errors.
 func (e *Engine) Standing() []ShardError { return e.eng.Standing() }
 
+// MutableStats snapshots the engine's incremental-indexing state: current
+// generation, memtable occupancy, delta layers, tombstones and live totals
+// (see EngineMetrics.Mutable).
+type MutableStats = engine.MutableStats
+
+// Generation returns the engine's current index generation: every successful
+// Insert, Delete and state-changing Compact bumps it.  Result-cache entries
+// are keyed by generation, so a bump atomically retargets the cache — streams
+// computed against older index states simply stop being reachable and age out
+// of the LRU, with no global flush.
+func (e *Engine) Generation() uint64 { return e.eng.Generation() }
+
+// Insert adds one sequence to the served corpus; it is searchable before
+// Insert returns.  The sequence lands in an in-memory delta index (online
+// suffix-tree construction) that searches merge with the base shards in the
+// same decreasing-score stream.  IDs must be unique among live sequences; the
+// residues are copied.  Disk-backed engines hold inserts in memory until
+// Compact persists them (LSM without a WAL: a crash before Compact loses
+// uncompacted writes, never the on-disk index).  Returns the new generation.
+func (e *Engine) Insert(id string, residues []byte) (uint64, error) {
+	return e.eng.Insert(id, residues)
+}
+
+// Delete removes the live sequence with the given ID from search results by
+// writing a tombstone; the sequence stays physically present (and addressable
+// through Catalog) until a compaction folds it away.  Returns the new
+// generation.
+func (e *Engine) Delete(id string) (uint64, error) { return e.eng.Delete(id) }
+
+// Compact folds the mutable state down a level: disk-backed engines write the
+// frozen in-memory delta as an ordinary single-file delta index next to the
+// base shards and atomically swap in a manifest with a bumped generation
+// (crash-safe: the old manifest and every file it references stay intact
+// until the rename lands); in-memory engines rebuild the base index over the
+// live corpus.  Returns the resulting generation (unchanged when there was
+// nothing to do).
+func (e *Engine) Compact() (uint64, error) { return e.eng.Compact() }
+
 // BatchQuery is one query of a batch.
 type BatchQuery struct {
 	// ID identifies the query in the multiplexed result stream.

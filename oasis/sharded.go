@@ -61,7 +61,9 @@ type ShardedIndex struct {
 // in-memory suffix-tree index per shard by default, or one shared index with
 // per-shard subtree assignments when opts.PartitionByPrefix is set.  With
 // opts.IndexDir (and a nil db) it instead opens the directory's prebuilt
-// per-shard disk indexes, one buffer pool per shard.
+// per-shard disk indexes, one buffer pool per shard, including any compacted
+// delta layers and tombstones the manifest records — the index serves the
+// same live corpus as the Engine that wrote it.
 func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
 	if opts.IndexDir != "" {
 		if db != nil {
