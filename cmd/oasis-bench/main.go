@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk,cache,incremental or all")
+		exps         = flag.String("exp", "all", "comma-separated experiments: space,fig3,fig4,fig5,fig6,fig7,fig8,fig9,sharded,liveband,batch,disk,cache,incremental,distributed or all")
 		residues     = flag.Int64("residues", 400_000, "approximate synthetic database size in residues")
 		queries      = flag.Int("queries", 60, "number of motif queries")
 		eValue       = flag.Float64("evalue", 20000, "selectivity (E-value)")
@@ -339,6 +339,32 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 				"inserted":          float64(row.InsertedSequences),
 				"compact_ns":        float64(row.CompactTime),
 				"generation":        float64(row.Generation),
+			},
+		})
+	}
+	if want("distributed") {
+		// The coordinator fan-out over real loopback shard servers, with a
+		// replica killed mid-run: throughput plus the failover/hedge counters
+		// that show the replica sets absorbing the fault.
+		res, err := experiments.Distributed(lab, 2, 2)
+		if err != nil {
+			return err
+		}
+		experiments.RenderDistributed(out, res)
+		report.Records = append(report.Records, experiments.BenchRecord{
+			Name:    "distributed/fanout",
+			NsPerOp: float64(res.Elapsed) / float64(res.NumQueries),
+			Extra: map[string]float64{
+				"queries_per_sec":  res.QueriesPerSec,
+				"slices":           float64(res.Slices),
+				"replicas":         float64(res.Replicas),
+				"failovers":        float64(res.Remote.Failovers),
+				"retries":          float64(res.Remote.Retries),
+				"attempts":         float64(res.Remote.Attempts),
+				"hedges":           float64(res.Remote.Hedges),
+				"hedge_win_rate":   res.HedgeWinRate,
+				"degraded_queries": float64(res.DegradedQueries),
+				"hits":             float64(res.TotalHits),
 			},
 		})
 	}

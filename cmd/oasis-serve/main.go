@@ -151,6 +151,57 @@
 // shard file(s) cannot be opened serves the surviving shards, every response
 // uses HTTP 206 and /healthz reports "degraded".
 //
+// # Scaling out: -shard-server and -coordinator
+//
+// One process serves one corpus.  To scale past that, split the corpus into
+// sequence-disjoint SLICES (oasis-build one index directory per slice), serve
+// each slice from its own processes, and put a coordinator in front:
+//
+//	oasis-serve -shard-server -index-dir slice0.idx -addr :9001
+//	oasis-serve -shard-server -index-dir slice0.idx -addr :9002   # replica
+//	oasis-serve -shard-server -index-dir slice1.idx -addr :9003
+//	oasis-serve -coordinator -slices 'h1:9001|h1:9002,h2:9003' -addr :8080
+//
+// -slices lists one entry per slice, comma-separated, with "|" separating a
+// slice's replicas; slice order defines the global sequence numbering.
+//
+// A shard server is a bare slice engine behind the wire protocol (package
+// repro/internal/remote): POST /oasis/shard/stream runs one query against the
+// slice and streams NDJSON (hit, bound) events — the slice's locally merged
+// decreasing-score stream plus a decreasing upper bound on everything it can
+// still report — and GET /oasis/shard/info describes the slice (sequence and
+// residue counts, alphabet).  No result cache and no admission control run
+// here: both belong to the coordinator, which sees whole queries.
+//
+// The coordinator opens every slice at startup, lays out the global sequence
+// index space, and serves the standard /search, /batch, /metrics endpoints.
+// Each query fans out to one replica per slice and the event streams merge
+// through the same strict-release rule a single-process engine uses, so the
+// merged stream is byte-identical to serving the concatenated corpus locally.
+// Per-attempt robustness is client-side: jittered capped-backoff retries,
+// failover to the next replica (resuming the slice's deterministic stream
+// without duplicating or dropping hits), hedged requests against tail-slow
+// replicas (-hedge-after; first byte wins, the loser is cancelled), and
+// degraded completion through the standard quarantine path when every replica
+// of a slice is down (-strict opts out; the response is then an error).
+// -dial-timeout and -header-timeout bound each ATTEMPT, independently of the
+// whole-query -query-timeout.  /metrics gains the fan-out counters (attempts,
+// retries, failovers, hedges, hedge wins, slice failures) and per-replica
+// health; the Prometheus rendering adds remote_*_total series and a
+// remote_replica_up gauge.  /insert, /delete and /compact refuse on a
+// coordinator: writes belong to the processes that own the slices.
+//
+// # Liveness and readiness
+//
+// GET /healthz/live answers 200 whenever the process can serve HTTP at all.
+// GET /healthz/ready answers 200 only when the server should receive traffic:
+// 503 while draining for shutdown, and in coordinator mode the body carries
+// per-slice replica health ("up"/"degraded"/"down") with 503 when any slice
+// has no live replica.  GET /healthz (legacy) stays as the one-shot summary.
+// On SIGTERM the server flips not-ready first and waits -drain-grace so load
+// balancers stop routing, then sheds new work and finishes in-flight streams
+// within -shutdown-timeout.
+//
 // Example:
 //
 //	oasis-serve -db swissprot.fasta -shards 8 -addr :8080
@@ -172,6 +223,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -202,6 +254,18 @@ type serveFlags struct {
 	allowDegr    bool
 	shutdownWait time.Duration
 	compactAfter int
+
+	// Distributed-serving topology (see the package doc's "Scaling out").
+	shardServer   bool
+	coordinator   bool
+	slices        string
+	dialTimeout   time.Duration
+	headerTimeout time.Duration
+	sliceAttempts int
+	hedgeAfter    time.Duration
+	noHedge       bool
+	drainGrace    time.Duration
+	idleTimeout   time.Duration
 }
 
 func main() {
@@ -228,14 +292,54 @@ func main() {
 	flag.BoolVar(&f.allowDegr, "allow-degraded", false, "start serving even when shard files fail to open (with -index-dir): failed shards are quarantined and every query reports degraded")
 	flag.DurationVar(&f.shutdownWait, "shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.IntVar(&f.compactAfter, "compact-after", 0, "compact the mutable layer in the background once this many inserted sequences accumulate (0 = only explicit POST /compact)")
+	flag.BoolVar(&f.shardServer, "shard-server", false, "serve one corpus slice over the shard wire protocol for a coordinator (bare slice engine: no result cache, no admission control)")
+	flag.BoolVar(&f.coordinator, "coordinator", false, "serve by fanning queries out to the remote shard servers in -slices instead of a local index")
+	flag.StringVar(&f.slices, "slices", "", "coordinator slice topology: one entry per slice, comma-separated, with '|' separating a slice's replica addresses (e.g. 'h1:9001|h1:9002,h2:9003')")
+	flag.DurationVar(&f.dialTimeout, "dial-timeout", 2*time.Second, "per-ATTEMPT connection deadline for coordinator fan-out (a slow dial fails over, not the query)")
+	flag.DurationVar(&f.headerTimeout, "header-timeout", 10*time.Second, "per-ATTEMPT time-to-response-headers deadline for coordinator fan-out")
+	flag.IntVar(&f.sliceAttempts, "slice-attempts", 0, "stream attempts per slice per query, counting the first try (0 = max(3, 2x replicas))")
+	flag.DurationVar(&f.hedgeAfter, "hedge-after", 0, "hedge a slice request onto a second replica when the first has produced no event within this long (0 = adaptive p95 of observed first-event latencies)")
+	flag.BoolVar(&f.noHedge, "no-hedge", false, "disable hedged requests in coordinator fan-out")
+	flag.DurationVar(&f.drainGrace, "drain-grace", 0, "after SIGTERM, stay live but not ready this long before shedding new work, so load balancers stop routing first")
+	flag.DurationVar(&f.idleTimeout, "idle-timeout", 2*time.Minute, "close keep-alive connections idle this long")
 	flag.Parse()
 	if f.admSlots <= 0 {
 		f.admSlots = 2 * runtime.GOMAXPROCS(0)
 	}
-	if err := run(f); err != nil {
+	var err error
+	if f.shardServer {
+		err = runShardServer(f)
+	} else {
+		err = run(f)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSlices parses the -slices topology: "," separates slices, "|"
+// separates a slice's replicas.  Slice order defines the global sequence
+// numbering, so the same -slices value must be used across coordinator
+// restarts for stable sequence indexes.
+func parseSlices(spec string) ([][]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-coordinator requires -slices")
+	}
+	var slices [][]string
+	for i, entry := range strings.Split(spec, ",") {
+		var replicas []string
+		for _, addr := range strings.Split(entry, "|") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				replicas = append(replicas, addr)
+			}
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("-slices entry %d is empty", i)
+		}
+		slices = append(slices, replicas)
+	}
+	return slices, nil
 }
 
 // buildEngine assembles the warm engine from either source: an in-memory
@@ -295,6 +399,48 @@ func buildEngine(f serveFlags) (*oasis.Engine, string, error) {
 	return eng, "in-memory " + partition, nil
 }
 
+// buildCoordinator opens the remote slice topology and wraps it in a warm
+// engine, so the standard HTTP front end (admission, result cache, NDJSON
+// streaming) runs unchanged in front of the fan-out.
+func buildCoordinator(f serveFlags) (*oasis.Engine, string, *oasis.Coordinator, error) {
+	if f.dbPath != "" || f.indexDir != "" {
+		return nil, "", nil, fmt.Errorf("-coordinator serves remote slices; it takes no -db or -index-dir")
+	}
+	if f.shards != 0 || f.prefixShards {
+		return nil, "", nil, fmt.Errorf("-shards/-prefix-sharding are properties of the slice indexes, not the coordinator")
+	}
+	if f.allowDegr {
+		return nil, "", nil, fmt.Errorf("-allow-degraded applies to -index-dir engines; a coordinator degrades per query when a whole slice is down (use -strict to refuse instead)")
+	}
+	if f.compactAfter != 0 {
+		return nil, "", nil, fmt.Errorf("-compact-after needs a local mutable index; a coordinator cannot write (compact on the shard servers)")
+	}
+	slices, err := parseSlices(f.slices)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	log.Printf("connecting to %d slices ...", len(slices))
+	co, err := oasis.OpenCoordinator(context.Background(), slices, oasis.CoordinatorOptions{
+		Workers:       f.shardWorkers,
+		BatchWorkers:  f.batchWorkers,
+		CacheBytes:    f.cacheMB << 20,
+		DialTimeout:   f.dialTimeout,
+		HeaderTimeout: f.headerTimeout,
+		MaxAttempts:   f.sliceAttempts,
+		HedgeAfter:    f.hedgeAfter,
+		DisableHedge:  f.noHedge,
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	replicas := 0
+	for _, s := range slices {
+		replicas += len(s)
+	}
+	mode := fmt.Sprintf("coordinator over %d slices (%d replicas)", len(slices), replicas)
+	return co.Engine(), mode, co, nil
+}
+
 func run(f serveFlags) error {
 	matrix := oasis.MatrixByName(f.matrix)
 	if matrix == nil {
@@ -306,7 +452,16 @@ func run(f serveFlags) error {
 	}
 
 	build := time.Now()
-	eng, mode, err := buildEngine(f)
+	var (
+		eng  *oasis.Engine
+		mode string
+		co   *oasis.Coordinator
+	)
+	if f.coordinator {
+		eng, mode, co, err = buildCoordinator(f)
+	} else {
+		eng, mode, err = buildEngine(f)
+	}
 	if err != nil {
 		return err
 	}
@@ -329,11 +484,13 @@ func run(f serveFlags) error {
 		queryTimeout:   f.queryTimeout,
 		strict:         f.strict,
 		compactAfter:   f.compactAfter,
+		coordinator:    co,
 	})
 	srv := &http.Server{
 		Addr:              f.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       f.idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -349,8 +506,16 @@ func run(f serveFlags) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Readiness first: /healthz/ready flips to 503 while the server keeps
+	// accepting work for -drain-grace, so load balancers route new traffic
+	// elsewhere before anything is shed.
+	handler.setNotReady()
+	if f.drainGrace > 0 {
+		log.Printf("not ready; draining for %s before shedding new work ...", f.drainGrace)
+		time.Sleep(f.drainGrace)
+	}
 	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", f.shutdownWait)
-	// Drain first: new search/batch requests are shed with 503 immediately,
+	// Drain next: new search/batch requests are shed with 503 immediately,
 	// so the grace period below is spent finishing admitted streams.
 	handler.startDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.shutdownWait)
@@ -361,7 +526,12 @@ func run(f serveFlags) error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if err := eng.Close(); err != nil {
+	if co != nil {
+		err = co.Close()
+	} else {
+		err = eng.Close()
+	}
+	if err != nil {
 		return err
 	}
 	st := eng.Stats()

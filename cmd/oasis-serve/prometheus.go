@@ -80,6 +80,36 @@ func (s *server) writePrometheus(w http.ResponseWriter) {
 		counter("admission_rejected_total", "Requests rejected with 429 (client queue full).", adm.Rejected)
 	}
 
+	if co := s.cfg.coordinator; co != nil {
+		// Coordinator fan-out robustness counters: the alerting surface for a
+		// distributed deployment.  remote_slice_failures_total firing means a
+		// whole slice exhausted every replica (queries degraded or failed);
+		// remote_failovers_total and remote_hedge_wins_total rising without it
+		// means the replica sets are absorbing faults as designed.
+		rm := co.RemoteMetrics()
+		counter("remote_streams_total", "Slice streams served by the coordinator fan-out.", rm.Streams)
+		counter("remote_attempts_total", "Stream attempts issued (first tries + retries).", rm.Attempts)
+		counter("remote_retries_total", "Re-attempts after a failed stream attempt.", rm.Retries)
+		counter("remote_failovers_total", "Re-attempts that switched to another replica.", rm.Failovers)
+		counter("remote_hedges_total", "Hedge requests launched against tail-slow replicas.", rm.Hedges)
+		counter("remote_hedge_wins_total", "Hedge requests whose response won the race.", rm.HedgeWins)
+		counter("remote_slice_failures_total", "Slice streams that exhausted every attempt.", rm.SliceFailures)
+		fmt.Fprintf(w, "# HELP remote_replica_up Replica health: 1 up, 0.5 degraded, 0 down.\n")
+		fmt.Fprintf(w, "# TYPE remote_replica_up gauge\n")
+		for _, sh := range co.Health() {
+			for _, r := range sh.Replicas {
+				v := "0"
+				switch r.State {
+				case "up":
+					v = "1"
+				case "degraded":
+					v = "0.5"
+				}
+				fmt.Fprintf(w, "remote_replica_up{slice=\"%d\",replica=%q} %s\n", sh.Slice, r.Addr, v)
+			}
+		}
+	}
+
 	labels := make([]string, 0, len(s.lat))
 	for label := range s.lat {
 		labels = append(labels, label)

@@ -45,6 +45,10 @@ type serverConfig struct {
 	// compactAfter triggers a background compaction once the memtable holds
 	// this many inserted sequences (0 = only explicit POST /compact).
 	compactAfter int
+	// coordinator is set when the engine fans out to remote shard servers
+	// (-coordinator); it supplies per-replica health for /healthz/ready and
+	// the fan-out robustness counters for /metrics.
+	coordinator *oasis.Coordinator
 }
 
 // searchRequest is the JSON body of POST /search and one element of the
@@ -98,6 +102,10 @@ type server struct {
 	// adm is the per-client fair admission controller in front of the
 	// search/batch endpoints (nil when cfg.admissionSlots is 0).
 	adm *admission
+	// notReady is flipped first during graceful shutdown: /healthz/ready
+	// answers 503 while the server keeps serving for -drain-grace, so load
+	// balancers stop routing before any request is shed.
+	notReady atomic.Bool
 	// draining is flipped by startDrain during graceful shutdown: new
 	// search/batch requests are shed with 503 while in-flight streams finish.
 	draining atomic.Bool
@@ -124,6 +132,8 @@ func newServer(eng *oasis.Engine, cfg serverConfig) *server {
 		s.adm = newAdmission(cfg.admissionSlots, cfg.admissionQueue)
 	}
 	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /healthz/live", "healthz_live", s.handleHealthLive)
+	s.handle("GET /healthz/ready", "healthz_ready", s.handleHealthReady)
 	s.handle("GET /stats", "stats", s.handleStats)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	s.handle("POST /search", "search", s.handleSearch)
@@ -150,17 +160,25 @@ func (s *server) handle(pattern, label string, h http.HandlerFunc) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// setNotReady flips /healthz/ready to 503 without shedding anything: the
+// first stage of graceful shutdown, giving load balancers -drain-grace to
+// route new traffic elsewhere while this server still answers everything.
+func (s *server) setNotReady() { s.notReady.Store(true) }
+
 // startDrain puts the server in shutdown drain mode: subsequent search/batch
 // requests get 503 + Retry-After immediately, while streams already admitted
 // run to completion under http.Server.Shutdown's grace period.
-func (s *server) startDrain() { s.draining.Store(true) }
+func (s *server) startDrain() {
+	s.notReady.Store(true)
+	s.draining.Store(true)
+}
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if len(s.eng.Standing()) > 0 {
 		status = "degraded"
 	}
-	if s.draining.Load() {
+	if s.notReady.Load() {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -171,6 +189,69 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"sequences":          s.eng.NumSequences(),
 		"residues":           s.eng.TotalResidues(),
 	})
+}
+
+// handleHealthLive is pure liveness: 200 whenever the process can serve HTTP
+// at all, even while draining.  Orchestrators restart on liveness failures,
+// so this must not flap during graceful shutdown — that is readiness's job.
+func (s *server) handleHealthLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleHealthReady reports whether this server should receive traffic: 503
+// while draining for shutdown, and in coordinator mode 503 when any slice
+// has no live replica (queries would degrade or, with -strict, fail).  The
+// body carries per-slice replica health either way, so operators can see a
+// brown-out forming before it takes readiness down.
+func (s *server) handleHealthReady(w http.ResponseWriter, _ *http.Request) {
+	ready := !s.notReady.Load()
+	body := map[string]any{}
+	if s.notReady.Load() {
+		body["reason"] = "draining"
+	}
+	if co := s.cfg.coordinator; co != nil {
+		body["slices"] = co.Health()
+		if dead := s.deadSlices(); dead > 0 {
+			ready = false
+			body["reason"] = fmt.Sprintf("%d slice(s) have no live replica", dead)
+		}
+	} else if len(s.eng.Standing()) > 0 {
+		// Quarantined local shards leave the server READY — it still serves
+		// (degraded) results — but worth surfacing to whoever is probing.
+		body["degraded_shards"] = len(s.eng.Standing())
+	}
+	status := http.StatusOK
+	body["status"] = "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		body["status"] = "not_ready"
+	}
+	writeJSON(w, status, body)
+}
+
+// deadSlices counts coordinator slices whose every replica is marked down —
+// queries are known-degraded (or, with -strict, doomed) before they start.
+// Unlike a standing quarantine this recovers: replica health resets on the
+// first successful attempt after the slice comes back.
+func (s *server) deadSlices() int {
+	co := s.cfg.coordinator
+	if co == nil {
+		return 0
+	}
+	dead := 0
+	for _, sh := range co.Health() {
+		live := false
+		for _, r := range sh.Replicas {
+			if r.State != "down" {
+				live = true
+				break
+			}
+		}
+		if !live {
+			dead++
+		}
+	}
+	return dead
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -206,6 +287,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.adm != nil {
 		body["admission"] = s.adm.snapshot()
+	}
+	if co := s.cfg.coordinator; co != nil {
+		body["remote"] = map[string]any{
+			"metrics": co.RemoteMetrics(),
+			"health":  co.Health(),
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -408,8 +495,9 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, batch []oas
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	// 206-style partial marker, known before the stream starts: shards
-	// quarantined at open time degrade every response.
-	if len(s.eng.Standing()) > 0 && !s.cfg.strict {
+	// quarantined at open time — or, on a coordinator, slices whose whole
+	// replica set is marked down — degrade every response.
+	if (len(s.eng.Standing()) > 0 || s.deadSlices() > 0) && !s.cfg.strict {
 		w.WriteHeader(http.StatusPartialContent)
 	}
 	flusher, _ := w.(http.Flusher)

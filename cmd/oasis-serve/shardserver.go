@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/remote"
+	"repro/internal/seq"
+	"repro/internal/shard"
+)
+
+// runShardServer serves one corpus slice over the shard wire protocol
+// (package repro/internal/remote) for a coordinator to fan out to.  The
+// serving surface is deliberately bare: a slice engine behind POST
+// /oasis/shard/stream and GET /oasis/shard/info, plus health and metrics.
+// No result cache and no admission control run here — a shard server sees
+// per-slice fragments of queries, so caching and fairness belong to the
+// coordinator, which sees whole queries and whole clients.
+func runShardServer(f serveFlags) error {
+	if f.coordinator || f.slices != "" {
+		return fmt.Errorf("-shard-server and -coordinator are mutually exclusive: a coordinator connects TO shard servers")
+	}
+	if f.allowDegr {
+		// A degraded slice would stream partial results that the coordinator
+		// merges as if they were the whole slice — silently wrong globally.
+		// Refusing to start keeps the failure visible: the coordinator fails
+		// over to a healthy replica (or degrades the whole slice explicitly).
+		return fmt.Errorf("-allow-degraded is not supported with -shard-server: a partial slice would be merged as if complete; let this replica fail so the coordinator fails over")
+	}
+
+	build := time.Now()
+	var (
+		eng  *shard.Engine
+		mode string
+		err  error
+	)
+	switch {
+	case f.indexDir != "":
+		if f.dbPath != "" {
+			return fmt.Errorf("-db and -index-dir are mutually exclusive")
+		}
+		if f.shards != 0 || f.prefixShards {
+			return fmt.Errorf("-shards/-prefix-sharding come from the -index-dir manifest; do not set them")
+		}
+		log.Printf("opening slice index %s ...", f.indexDir)
+		eng, err = shard.OpenDiskEngine(f.indexDir, shard.DiskOptions{
+			Workers:           f.shardWorkers,
+			PoolBytesPerShard: f.poolMB << 20,
+		})
+		mode = fmt.Sprintf("disk-backed (<=%d MB pool per shard)", f.poolMB)
+	case f.dbPath != "":
+		alpha := seq.Protein
+		if f.alphabet == "dna" {
+			alpha = seq.DNA
+		} else if f.alphabet != "protein" {
+			return fmt.Errorf("unknown alphabet %q", f.alphabet)
+		}
+		log.Printf("loading %s ...", f.dbPath)
+		var db *seq.Database
+		db, err = seq.ReadFASTAFile(f.dbPath, alpha)
+		if err != nil {
+			return err
+		}
+		pmode := shard.PartitionBySequence
+		if f.prefixShards {
+			pmode = shard.PartitionByPrefix
+		}
+		eng, err = shard.NewEngine(db, shard.Options{
+			Shards:    f.shards,
+			Workers:   f.shardWorkers,
+			Partition: pmode,
+		})
+		mode = "in-memory"
+	default:
+		return fmt.Errorf("either -db or -index-dir is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	rs := remote.NewServer(eng)
+	info := rs.Info()
+	log.Printf("shard server ready: %d sequences (%d residues), %d shards %s (%s partition), ready in %s",
+		info.Sequences, info.Residues, info.Shards, mode, info.Partition, time.Since(build).Round(time.Millisecond))
+
+	var notReady atomic.Bool
+	mux := http.NewServeMux()
+	rs.Register(mux)
+	mux.HandleFunc("GET /healthz/live", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, _ *http.Request) {
+		if notReady.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not_ready", "reason": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "slice": info})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		status := "ok"
+		if notReady.Load() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"serving":   status,
+			"shards":    info.Shards,
+			"sequences": info.Sequences,
+			"residues":  info.Residues,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := rs.Stats()
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprintf(w, "# HELP shard_streams_total Slice streams served.\n# TYPE shard_streams_total counter\nshard_streams_total %d\n", st.Streams)
+			fmt.Fprintf(w, "# HELP shard_streams_cancelled_total Streams cancelled by the coordinator (hedge losses, early top-k, client disconnects).\n# TYPE shard_streams_cancelled_total counter\nshard_streams_cancelled_total %d\n", st.Cancelled)
+			fmt.Fprintf(w, "# HELP shard_streams_active Streams running right now.\n# TYPE shard_streams_active gauge\nshard_streams_active %d\n", st.Active)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"server": st, "slice": info})
+	})
+
+	srv := &http.Server{
+		Addr:              f.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       f.idleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving slice on %s", f.addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	notReady.Store(true)
+	if f.drainGrace > 0 {
+		log.Printf("not ready; draining for %s before closing listeners ...", f.drainGrace)
+		time.Sleep(f.drainGrace)
+	}
+	log.Printf("shutting down (waiting up to %s for in-flight streams) ...", f.shutdownWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.shutdownWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	st := rs.Stats()
+	log.Printf("bye: served %d slice streams (%d cancelled)", st.Streams, st.Cancelled)
+	return nil
+}

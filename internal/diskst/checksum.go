@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/faultpoint"
+	"repro/internal/retry"
 )
 
 // castagnoli is the CRC32C polynomial table; crc32.MakeTable caches it, so
@@ -16,13 +17,17 @@ import (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Read-retry policy for transient disk errors: maxReadRetries re-reads with
-// exponential backoff starting at retryBaseDelay, capped at retryMaxDelay.
-// Truncation (EOF-class) errors are permanent and never retried.
+// jittered capped exponential backoff (internal/retry) — the jitter keeps
+// concurrent shard workers that failed together from retrying in lockstep
+// against an already struggling disk.  Truncation (EOF-class) errors are
+// permanent and never retried.
 const (
 	maxReadRetries = 3
 	retryBaseDelay = time.Millisecond
 	retryMaxDelay  = 10 * time.Millisecond
 )
+
+var readRetryPolicy = retry.Default(maxReadRetries, retryBaseDelay, retryMaxDelay)
 
 // Package-level fault counters, surfaced through engine metrics and the
 // Prometheus exposition in oasis-serve.
@@ -108,7 +113,6 @@ type verifyingReader struct {
 // readRawAt reads into p at off with transient-error retries (and the
 // SiteDiskRead failpoint).  It tolerates io.EOF on an exactly-full read.
 func (r *verifyingReader) readRawAt(p []byte, off int64) error {
-	delay := retryBaseDelay
 	for attempt := 0; ; attempt++ {
 		err := faultpoint.Hit(faultpoint.SiteDiskRead, r.path)
 		if err == nil {
@@ -130,11 +134,7 @@ func (r *verifyingReader) readRawAt(p []byte, off int64) error {
 				r.path, off, maxReadRetries, err)
 		}
 		readRetries.Add(1)
-		time.Sleep(delay)
-		delay *= 4
-		if delay > retryMaxDelay {
-			delay = retryMaxDelay
-		}
+		time.Sleep(readRetryPolicy.Delay(attempt))
 	}
 }
 

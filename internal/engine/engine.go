@@ -167,6 +167,11 @@ type Engine struct {
 	warmupPages int
 	memOpts     shard.Options
 
+	// immutable marks engines whose base index is not writable from this
+	// process (provider-backed coordinator engines: the corpus lives in the
+	// remote slices' serving processes).  Insert/Delete/Compact refuse.
+	immutable bool
+
 	inserts     atomic.Int64
 	deletes     atomic.Int64
 	compactions atomic.Int64
@@ -240,6 +245,44 @@ func New(db *seq.Database, opts Options) (*Engine, error) {
 	}
 	if err := e.initMutable(sharded, db, opts); err != nil {
 		sharded.Close()
+		return nil, err
+	}
+	if opts.CacheBytes > 0 {
+		e.cache = qcache.New(opts.CacheBytes)
+	}
+	return e, nil
+}
+
+// NewFromShardEngine wraps a pre-assembled shard engine — typically a
+// provider-backed one (shard.NewEngineFromProviders), whose shards are remote
+// slice streams — as a warm batch engine, so the whole serving stack
+// (SubmitBatch multiplexing, result cache, admission in front) runs unchanged
+// over a distributed corpus.  Only the batch/cache options apply
+// (BatchWorkers, ResultBuffer, CacheBytes); index-construction options must be
+// zero.  The engine is IMMUTABLE: the corpus lives in the remote slices'
+// serving processes, so Insert, Delete and Compact return ErrImmutable.
+// Close closes base.
+func NewFromShardEngine(base *shard.Engine, opts Options) (*Engine, error) {
+	if base == nil {
+		return nil, fmt.Errorf("engine: nil shard engine")
+	}
+	if opts.IndexDir != "" || opts.Shards != 0 || opts.PartitionByPrefix {
+		return nil, fmt.Errorf("engine: NewFromShardEngine wraps an existing engine; index-construction options must be zero")
+	}
+	bw := opts.BatchWorkers
+	if bw < 1 {
+		bw = runtime.GOMAXPROCS(0)
+	}
+	rb := opts.ResultBuffer
+	if rb < 1 {
+		rb = 64
+	}
+	e := &Engine{
+		batchWorkers: bw,
+		resultBuffer: rb,
+		immutable:    true,
+	}
+	if err := e.initMutable(base, nil, Options{}); err != nil {
 		return nil, err
 	}
 	if opts.CacheBytes > 0 {

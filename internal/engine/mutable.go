@@ -87,6 +87,11 @@ type MutableStats struct {
 // Generation returns the engine's current index generation.
 func (e *Engine) Generation() uint64 { return e.cur().gen }
 
+// ErrImmutable is returned by Insert, Delete and Compact on engines whose
+// base index is not writable from this process (NewFromShardEngine: the
+// corpus lives in the remote slices' serving processes — write to those).
+var ErrImmutable = fmt.Errorf("engine: index is immutable here; write to the shard servers that own the corpus")
+
 // initMutable wires the mutable layer under a freshly built base engine and
 // publishes the initial generation.  For disk engines it reopens any delta
 // layers and tombstones recorded in the directory's manifest (generation
@@ -247,6 +252,9 @@ func (e *Engine) Insert(id string, residues []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	defer e.active.Done()
+	if e.immutable {
+		return 0, ErrImmutable
+	}
 	if id == "" {
 		return 0, fmt.Errorf("engine: insert needs a sequence ID")
 	}
@@ -291,6 +299,9 @@ func (e *Engine) Delete(id string) (uint64, error) {
 		return 0, ErrClosed
 	}
 	defer e.active.Done()
+	if e.immutable {
+		return 0, ErrImmutable
+	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	e.ensureIDIndexLocked()
@@ -333,6 +344,9 @@ func (e *Engine) Compact() (uint64, error) {
 		return 0, ErrClosed
 	}
 	defer e.active.Done()
+	if e.immutable {
+		return 0, ErrImmutable
+	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	if e.indexDir != "" {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/retry"
+	"repro/internal/seq"
+	"repro/internal/shard"
+)
+
+// DistributedResult summarises a coordinator fan-out run over real loopback
+// shard servers: throughput plus the robustness counters that show the
+// replica sets absorbing faults (a replica is killed mid-run, so the
+// failover count must be non-zero for the run to be meaningful).
+type DistributedResult struct {
+	Slices     int
+	Replicas   int
+	NumQueries int
+	TotalHits  int
+	// DegradedQueries counts queries that completed without a whole slice;
+	// zero here means every mid-run failure was absorbed by failover.
+	DegradedQueries int
+	Elapsed         time.Duration
+	QueriesPerSec   float64
+	// HedgeWinRate is HedgeWins/Hedges (0 when no hedge fired).
+	HedgeWinRate float64
+	Remote       remote.MetricsSnapshot
+}
+
+// Distributed measures the coordinator serving path end to end: the lab
+// corpus is split into contiguous slices, each slice is served by `replicas`
+// loopback HTTP shard servers, and the whole query workload streams through
+// a coordinator fan-out.  Halfway through, one replica of slice 0 is killed
+// (listener and live connections closed) to force mid-stream failovers, and
+// an aggressive hedge trigger exercises the tail-latency path.  The first
+// query is verified hit-for-hit against the local in-memory index before the
+// clock starts.
+func Distributed(lab *Lab, slices, replicas int) (DistributedResult, error) {
+	if slices < 2 {
+		slices = 2
+	}
+	if replicas < 2 {
+		// One replica per slice cannot demonstrate failover: killing it
+		// would just degrade the slice.
+		replicas = 2
+	}
+	n := lab.DB.NumSequences()
+	if slices > n {
+		return DistributedResult{}, fmt.Errorf("experiments: %d slices over %d sequences", slices, n)
+	}
+
+	var (
+		topo    [][]string
+		servers []*http.Server
+		engines []*shard.Engine
+	)
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for s := 0; s < slices; s++ {
+		lo, hi := s*n/slices, (s+1)*n/slices
+		seqs := make([]seq.Sequence, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			seqs = append(seqs, lab.DB.Sequence(i))
+		}
+		sliceDB, err := seq.NewDatabase(lab.DB.Alphabet(), seqs)
+		if err != nil {
+			return DistributedResult{}, err
+		}
+		eng, err := shard.NewEngine(sliceDB, shard.Options{Shards: 2})
+		if err != nil {
+			return DistributedResult{}, err
+		}
+		engines = append(engines, eng)
+		// Replicas of one slice share the engine: what matters for the
+		// robustness path is that they are distinct processes as far as the
+		// client can tell (distinct listeners, distinct connections).
+		rs := remote.NewServer(eng)
+		addrs := make([]string, 0, replicas)
+		for r := 0; r < replicas; r++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return DistributedResult{}, err
+			}
+			srv := &http.Server{Handler: rs}
+			go func() { _ = srv.Serve(ln) }()
+			servers = append(servers, srv)
+			addrs = append(addrs, ln.Addr().String())
+		}
+		topo = append(topo, addrs)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	co, err := remote.Open(ctx, remote.Config{
+		Slices:      topo,
+		MaxAttempts: 2 * replicas,
+		Retry:       retry.Default(2*replicas, time.Millisecond, 20*time.Millisecond),
+		// Aggressive fixed trigger so the run actually exercises hedging on
+		// a fast loopback; production uses the adaptive p95 default.
+		HedgeAfter: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	defer co.Close()
+	eng := co.Engine()
+
+	search := func(q []byte, st *core.Stats) (int, error) {
+		hits := 0
+		opts := core.Options{Scheme: lab.Scheme, MinScore: lab.minScoreFor(lab.Config.EValue, len(q)), Stats: st}
+		err := eng.Search(q, opts, func(core.Hit) bool {
+			hits++
+			return true
+		})
+		return hits, err
+	}
+
+	// Correctness gate before timing: the fan-out agrees with the local
+	// index on the first query.
+	q0 := lab.Queries[0]
+	localHits, err := core.SearchAll(lab.Mem, q0.Residues, core.Options{
+		Scheme: lab.Scheme, MinScore: lab.minScoreFor(lab.Config.EValue, len(q0.Residues)),
+	})
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	if got, err := search(q0.Residues, nil); err != nil {
+		return DistributedResult{}, err
+	} else if got != len(localHits) {
+		return DistributedResult{}, fmt.Errorf("experiments: fan-out reported %d hits for query 0, local index %d", got, len(localHits))
+	}
+
+	kill := len(lab.Queries) / 2
+	res := DistributedResult{Slices: slices, Replicas: replicas, NumQueries: len(lab.Queries)}
+	start := time.Now()
+	for i, q := range lab.Queries {
+		if i == kill {
+			// Kill slice 0's first replica: Close drops the listener AND the
+			// connections it is mid-stream on, so in-flight and subsequent
+			// queries must fail over to the surviving replica.
+			_ = servers[0].Close()
+		}
+		var st core.Stats
+		hits, err := search(q.Residues, &st)
+		if err != nil {
+			return DistributedResult{}, fmt.Errorf("experiments: query %d: %w", i, err)
+		}
+		res.TotalHits += hits
+		if st.Degraded {
+			res.DegradedQueries++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.QueriesPerSec = float64(res.NumQueries) / res.Elapsed.Seconds()
+	res.Remote = co.Metrics()
+	if res.Remote.Hedges > 0 {
+		res.HedgeWinRate = float64(res.Remote.HedgeWins) / float64(res.Remote.Hedges)
+	}
+	if res.Remote.Failovers == 0 {
+		// The run proved nothing about robustness; refuse to report it as if
+		// it had.
+		return DistributedResult{}, fmt.Errorf("experiments: replica kill produced no failovers (remote=%+v)", res.Remote)
+	}
+	if res.DegradedQueries > 0 {
+		return DistributedResult{}, fmt.Errorf("experiments: %d queries degraded despite a surviving replica", res.DegradedQueries)
+	}
+	return res, nil
+}
+
+// RenderDistributed writes the fan-out summary table.
+func RenderDistributed(w io.Writer, r DistributedResult) {
+	fmt.Fprintf(w, "Distributed serving: coordinator over %d slices x %d replicas (1 replica killed mid-run)\n", r.Slices, r.Replicas)
+	fmt.Fprintf(w, "  %-28s %d\n", "queries", r.NumQueries)
+	fmt.Fprintf(w, "  %-28s %d\n", "hits", r.TotalHits)
+	fmt.Fprintf(w, "  %-28s %.1f\n", "queries/sec", r.QueriesPerSec)
+	fmt.Fprintf(w, "  %-28s %d\n", "stream attempts", r.Remote.Attempts)
+	fmt.Fprintf(w, "  %-28s %d\n", "retries", r.Remote.Retries)
+	fmt.Fprintf(w, "  %-28s %d\n", "failovers", r.Remote.Failovers)
+	fmt.Fprintf(w, "  %-28s %d (%.0f%% won)\n", "hedges", r.Remote.Hedges, 100*r.HedgeWinRate)
+	fmt.Fprintf(w, "  %-28s %d\n", "degraded queries", r.DegradedQueries)
+}

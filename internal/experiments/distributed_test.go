@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDistributedExperiment runs the fan-out experiment end to end on a tiny
+// lab: real loopback shard servers, a replica killed mid-run, and the
+// experiment's own built-in gates (query-0 equivalence, failovers observed,
+// no degraded queries despite the kill).
+func TestDistributedExperiment(t *testing.T) {
+	lab := newTinyLab(t)
+	res, err := Distributed(lab, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQueries != len(lab.Queries) || res.TotalHits == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if res.QueriesPerSec <= 0 {
+		t.Fatalf("queries/sec not measured: %+v", res)
+	}
+	if res.Remote.Failovers == 0 {
+		t.Fatalf("replica kill produced no failovers: %+v", res.Remote)
+	}
+	if res.DegradedQueries != 0 {
+		t.Fatalf("%d degraded queries despite a surviving replica", res.DegradedQueries)
+	}
+	if res.Remote.Streams == 0 || res.Remote.Attempts < res.Remote.Streams {
+		t.Fatalf("implausible counters: %+v", res.Remote)
+	}
+	var buf bytes.Buffer
+	RenderDistributed(&buf, res)
+	for _, want := range []string{"failovers", "queries/sec", "hedges"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -79,6 +79,22 @@ const (
 	// references) must stay intact and openable.  The detail string is the
 	// delta file name.
 	SiteCompactSwap = "compact.swap"
+	// SiteRemoteDial fires in the coordinator's shard client before each
+	// stream request is issued to a replica; error specs model a dead or
+	// unreachable replica, latency specs a slow connect (which is what makes
+	// the hedge timer fire).  The detail string is the replica address.
+	SiteRemoteDial = "remote.dial"
+	// SiteRemoteStream sees every event line the shard client reads from a
+	// replica, before it is decoded: error specs model a connection dropped
+	// mid-stream (failover territory), latency specs a tail-slow replica,
+	// corrupt specs bit rot on the wire that the decoder must reject.  The
+	// detail string is the replica address.
+	SiteRemoteStream = "remote.stream"
+	// SiteRemoteHedge fires when the coordinator launches a hedge request
+	// against a second replica; error specs suppress the hedge attempt,
+	// latency specs delay it.  The detail string is the hedged replica's
+	// address.
+	SiteRemoteHedge = "remote.hedge"
 )
 
 // Mode selects what an active spec does when it triggers.
@@ -126,6 +142,11 @@ type Spec struct {
 	// with Times=1 injects exactly one fault — the shape quarantine tests
 	// want: one failure, then a healthy system.
 	Times int64
+	// After lets the first After matching calls pass untouched before the
+	// spec starts triggering, so tests can place a fault mid-stream
+	// deterministically (e.g. kill a replica connection after the 5th event)
+	// instead of probabilistically.
+	After int64
 	// Match restricts the spec to Hit calls whose detail string contains
 	// this substring (e.g. one shard's file path); empty matches every
 	// call at the site.
@@ -134,10 +155,11 @@ type Spec struct {
 
 // site is one activated site's state.
 type site struct {
-	mu    sync.Mutex
-	spec  Spec
-	rng   *rand.Rand
-	fired int64
+	mu     sync.Mutex
+	spec   Spec
+	rng    *rand.Rand
+	fired  int64
+	passed int64 // matching calls let through by Spec.After
 }
 
 var (
@@ -236,6 +258,11 @@ func hitSlow(name, detail string, buf []byte) error {
 	s.mu.Lock()
 	spec := s.spec
 	if spec.Match != "" && !strings.Contains(detail, spec.Match) {
+		s.mu.Unlock()
+		return nil
+	}
+	if spec.After > 0 && s.passed < spec.After {
+		s.passed++
 		s.mu.Unlock()
 		return nil
 	}

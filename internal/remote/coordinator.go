@@ -1,0 +1,237 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/retry"
+	"repro/internal/seq"
+	"repro/internal/shard"
+)
+
+// Config lays out a coordinator: the slice topology plus the robustness
+// knobs shared by every slice client.
+type Config struct {
+	// Slices lists each slice's replica addresses; slice order defines the
+	// global sequence index layout (slice s's offset is the sum of the
+	// preceding slices' sequence counts).
+	Slices [][]string
+	// Workers bounds concurrent slice streams per query (0 = one per
+	// slice).
+	Workers int
+	// DialTimeout and HeaderTimeout are the per-attempt transport timeouts
+	// (0 picks 2s / 10s); they are deliberately distinct from any per-query
+	// deadline the serving layer applies around the whole fan-out.
+	DialTimeout   time.Duration
+	HeaderTimeout time.Duration
+	// MaxAttempts, Retry, HedgeAfter and DisableHedge configure every slice
+	// client (see ClientConfig).
+	MaxAttempts  int
+	Retry        retry.Policy
+	HedgeAfter   time.Duration
+	DisableHedge bool
+}
+
+// Coordinator owns a provider-backed shard engine whose shards are remote
+// slice clients: searches fan out to every slice's replica set and merge
+// through the standard strict-release rule, so the output stream is
+// byte-identical to a single-process engine over the same corpus.
+type Coordinator struct {
+	eng     *shard.Engine
+	clients []*Client
+	infos   []Info
+	offsets []int
+	metrics *Metrics
+	hc      *http.Client
+}
+
+// SliceHealth is one slice's replica health snapshot.
+type SliceHealth struct {
+	Slice    int             `json:"slice"`
+	Offset   int             `json:"offset"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// Open connects to every slice, lays out the global sequence index space
+// from the slices' Info, and assembles the provider-backed engine.  ctx
+// bounds the startup info fetches only.
+func Open(ctx context.Context, cfg Config) (*Coordinator, error) {
+	if len(cfg.Slices) == 0 {
+		return nil, fmt.Errorf("remote: no slices configured")
+	}
+	dial, header := cfg.DialTimeout, cfg.HeaderTimeout
+	if dial <= 0 {
+		dial = 2 * time.Second
+	}
+	if header <= 0 {
+		header = 10 * time.Second
+	}
+	hc := &http.Client{Transport: NewTransport(dial, header)}
+
+	co := &Coordinator{metrics: &Metrics{}, hc: hc}
+	var total int64
+	offset := 0
+	var alphabet *seq.Alphabet
+	for s, replicas := range cfg.Slices {
+		info, err := fetchInfo(ctx, hc, s, replicas)
+		if err != nil {
+			return nil, err
+		}
+		al, err := alphabetByName(info.Alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("remote: slice %d: %w", s, err)
+		}
+		if alphabet == nil {
+			alphabet = al
+		} else if alphabet != al {
+			return nil, fmt.Errorf("remote: slice %d serves %s sequences, slice 0 serves %s",
+				s, al.Name(), alphabet.Name())
+		}
+		client, err := NewClient(ClientConfig{
+			Slice:        s,
+			Offset:       offset,
+			Sequences:    info.Sequences,
+			Replicas:     replicas,
+			HTTPClient:   hc,
+			MaxAttempts:  cfg.MaxAttempts,
+			Retry:        cfg.Retry,
+			HedgeAfter:   cfg.HedgeAfter,
+			DisableHedge: cfg.DisableHedge,
+			Metrics:      co.metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		co.clients = append(co.clients, client)
+		co.infos = append(co.infos, info)
+		co.offsets = append(co.offsets, offset)
+		offset += info.Sequences
+		total += info.Residues
+	}
+
+	providers := make([]shard.Provider, len(co.clients))
+	for i, c := range co.clients {
+		providers[i] = c
+	}
+	eng, err := shard.NewEngineFromProviders(shard.ProviderSet{
+		Providers: providers,
+		Catalog:   &remoteCatalog{alphabet: alphabet, sequences: offset, residues: total},
+	}, shard.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	co.eng = eng
+	return co, nil
+}
+
+// fetchInfo asks a slice's replicas for their Info, trying each in turn with
+// jittered backoff so a coordinator can start while part of a replica set is
+// still coming up.
+func fetchInfo(ctx context.Context, hc *http.Client, slice int, replicas []string) (Info, error) {
+	if len(replicas) == 0 {
+		return Info{}, fmt.Errorf("remote: slice %d has no replicas", slice)
+	}
+	policy := retry.Default(2, 50*time.Millisecond, 500*time.Millisecond)
+	var lastErr error
+	for attempt := 0; attempt <= policy.Retries; attempt++ {
+		if attempt > 0 {
+			if err := policy.Sleep(ctx, attempt-1); err != nil {
+				return Info{}, err
+			}
+		}
+		for _, addr := range replicas {
+			info, err := getInfo(ctx, hc, addr)
+			if err == nil {
+				return info, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return Info{}, ctx.Err()
+			}
+		}
+	}
+	return Info{}, fmt.Errorf("remote: slice %d: no replica answered info: %w", slice, lastErr)
+}
+
+func getInfo(ctx context.Context, hc *http.Client, addr string) (Info, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(addr)+PathInfo, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Info{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, fmt.Errorf("remote: %s: info HTTP %d", addr, resp.StatusCode)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return Info{}, fmt.Errorf("remote: %s: bad info: %w", addr, err)
+	}
+	if info.Sequences <= 0 || info.Residues <= 0 {
+		return Info{}, fmt.Errorf("remote: %s serves an empty slice", addr)
+	}
+	return info, nil
+}
+
+// Engine returns the provider-backed shard engine; its Search output is
+// byte-identical to a single-process engine over the concatenated slices.
+func (co *Coordinator) Engine() *shard.Engine { return co.eng }
+
+// Infos returns the per-slice descriptions fetched at startup.
+func (co *Coordinator) Infos() []Info { return co.infos }
+
+// Offsets returns each slice's global sequence index offset.
+func (co *Coordinator) Offsets() []int { return co.offsets }
+
+// Health snapshots every slice's replica health.
+func (co *Coordinator) Health() []SliceHealth {
+	out := make([]SliceHealth, len(co.clients))
+	for i, c := range co.clients {
+		out[i] = SliceHealth{Slice: i, Offset: co.offsets[i], Replicas: c.Health()}
+	}
+	return out
+}
+
+// Metrics snapshots the fan-out robustness counters aggregated across all
+// slice clients.
+func (co *Coordinator) Metrics() MetricsSnapshot { return co.metrics.Snapshot() }
+
+// Close releases the engine and the shared transport's idle connections.
+func (co *Coordinator) Close() error {
+	err := co.eng.Close()
+	if t, ok := co.hc.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	return err
+}
+
+// remoteCatalog is the coordinator's global catalog: it knows the layout
+// totals (which drive E-values, early stops and scratch sizing) but holds no
+// residues — sequence identity travels on each hit's SeqID, and alignment
+// recovery requires the slice's serving process.
+type remoteCatalog struct {
+	alphabet  *seq.Alphabet
+	sequences int
+	residues  int64
+}
+
+func (c *remoteCatalog) Alphabet() *seq.Alphabet { return c.alphabet }
+func (c *remoteCatalog) NumSequences() int       { return c.sequences }
+func (c *remoteCatalog) SequenceID(i int) string { return "" }
+func (c *remoteCatalog) SequenceLength(int) int  { return 0 }
+func (c *remoteCatalog) TotalResidues() int64    { return c.residues }
+func (c *remoteCatalog) Locate(int64) (int, int64, error) {
+	return 0, 0, fmt.Errorf("remote: coordinator catalog holds no residues")
+}
+func (c *remoteCatalog) Residues(int) ([]byte, error) {
+	return nil, fmt.Errorf("remote: coordinator catalog holds no residues")
+}
+
+var _ core.Catalog = (*remoteCatalog)(nil)

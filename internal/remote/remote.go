@@ -1,0 +1,156 @@
+// Package remote promotes the shard boundary to the network: a shard SERVER
+// (Server) exports one engine's merged hit stream over HTTP as (hit, bound)
+// events, and a coordinator-side CLIENT (Client) consumes such a stream as
+// one more shard.Provider, so a Coordinator over N remote shard slices merges
+// them through the exact same strict-release k-way merge as a single-process
+// engine — and produces a byte-identical globally ordered stream.
+//
+// # Topology
+//
+// The served corpus is split into sequence-disjoint SLICES (seq.Partition-
+// Database order): slice s owns a contiguous global sequence index range
+// starting at the sum of the preceding slices' sequence counts.  Each slice
+// is served by one or more REPLICA processes (oasis-serve -shard-server),
+// each holding a full copy of the slice's index; a replica's engine may
+// internally shard its slice in either partition mode — the exported stream
+// is its merged, canonical (score desc, sequence asc) order either way
+// (shard.Engine.SearchBounded).  The coordinator owns the global sequence
+// index space: it adds the slice's offset to every hit and attaches E-values
+// with the global residue totals, so the fan-out is invisible to clients.
+//
+// # Wire protocol
+//
+// POST /oasis/shard/stream with a StreamRequest body returns an NDJSON event
+// stream, flushed per event:
+//
+//	{"e":"b","v":57}                        frontier bound: no future hit of
+//	                                        this stream exceeds score 57
+//	{"e":"h","seq":12,"id":"SYN|B0012","score":55,"qe":13,"te":118}
+//	                                        hit (seq is slice-local; scores
+//	                                        decrease down the stream)
+//	{"e":"d","stats":{...}}                 end of stream, with work counters
+//	{"e":"d","err":"..."}                   terminal failure
+//
+// GET /oasis/shard/info returns the slice's Info (sequence/residue counts,
+// alphabet, internal shard layout) — the coordinator fetches it at startup to
+// lay out the global index space.
+//
+// # Robustness
+//
+// The client retries connect/read failures with jittered capped backoff
+// (internal/retry) and fails over across replicas; a mid-stream failure
+// resumes the deterministic slice stream on another replica by skipping the
+// hits already forwarded (the last skipped hit must match the last forwarded
+// one, or the replica is treated as inconsistent and the attempt fails).
+// Tail-slow replicas are hedged: if the first event has not arrived within a
+// latency-percentile budget, a second request races on the next replica and
+// the first responder wins, the loser's request context cancelled.  When
+// every replica of a slice is down, the slice's provider errors out and the
+// coordinator engine quarantines it through the standard degraded-completion
+// path (bound dropped, pending hits purged, Stats.Degraded set; StrictShards
+// opts out).  Early top-k termination and client disconnects propagate:
+// the provider callbacks' false return cancels the in-flight HTTP request,
+// which cancels the replica's server-side search context.
+//
+// Fault injection for all of the above lives at the faultpoint sites
+// remote.dial, remote.stream and remote.hedge.
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Endpoint paths of the shard transport.
+const (
+	// PathStream is the boundable hit-stream endpoint (POST).
+	PathStream = "/oasis/shard/stream"
+	// PathInfo is the slice-description endpoint (GET).
+	PathInfo = "/oasis/shard/info"
+)
+
+// StreamRequest is the JSON body of POST /oasis/shard/stream.  The scoring
+// scheme travels by matrix NAME so coordinator and replicas need no shared
+// configuration beyond the built-in matrix registry.
+type StreamRequest struct {
+	// Query is the residue string (letters over the slice's alphabet).
+	Query string `json:"query"`
+	// Matrix and Gap select the scoring scheme (score.ByName).
+	Matrix string `json:"matrix"`
+	Gap    int    `json:"gap"`
+	// MinScore is the report threshold (>= 1).
+	MinScore int `json:"min_score"`
+	// MaxResults truncates the slice's stream to its k strongest sequences
+	// when > 0 (a valid per-slice prune: the global top k is a subset of the
+	// union of per-slice top k's).
+	MaxResults int `json:"max_results,omitempty"`
+	// DisableLiveBand forwards core.Options.DisableLiveBand.
+	DisableLiveBand bool `json:"disable_live_band,omitempty"`
+	// Strict forwards core.Options.StrictShards: the replica fails the
+	// stream when one of its internal shards fails, instead of completing a
+	// silently thinner stream the coordinator could not tell apart from a
+	// healthy one (the degraded flag in the done event's stats covers the
+	// non-strict case).
+	Strict bool `json:"strict,omitempty"`
+}
+
+// Event is one NDJSON line of a shard stream.  E is "b" (bound), "h" (hit)
+// or "d" (done).
+type Event struct {
+	E string `json:"e"`
+	// V is the frontier bound of "b" events: no future hit of this stream
+	// scores above it.
+	V int `json:"v,omitempty"`
+	// Hit fields ("h" events).  Seq is the slice-LOCAL sequence index; the
+	// coordinator adds the slice offset.  Rank and EValue are not carried:
+	// both are global properties the coordinator's merger assigns.
+	Seq   int    `json:"seq"`
+	ID    string `json:"id,omitempty"`
+	Score int    `json:"score"`
+	QEnd  int    `json:"qe,omitempty"`
+	TEnd  int    `json:"te,omitempty"`
+	// Done fields ("d" events): the slice search's work counters (including
+	// Degraded/ShardErrors when the replica lost internal shards) or its
+	// terminal error.
+	Stats *core.Stats `json:"stats,omitempty"`
+	Err   string      `json:"err,omitempty"`
+}
+
+// Info describes one shard slice, served at GET /oasis/shard/info.
+type Info struct {
+	// Sequences and Residues are the slice's corpus totals; the coordinator
+	// lays slices out contiguously in slice order, so slice s's global
+	// sequence offset is the sum of the preceding slices' Sequences.
+	Sequences int   `json:"sequences"`
+	Residues  int64 `json:"residues"`
+	// Alphabet names the residue alphabet ("protein" or "dna"); all slices
+	// of one deployment must agree.
+	Alphabet string `json:"alphabet"`
+	// Shards and Partition describe the replica's internal layout
+	// (diagnostic; the exported stream is identical either way).
+	Shards    int    `json:"shards"`
+	Partition string `json:"partition"`
+}
+
+// alphabetByName resolves an Info.Alphabet name to the singleton alphabet
+// instance (pointer identity matters: scheme/alphabet checks compare
+// pointers).
+func alphabetByName(name string) (*seq.Alphabet, error) {
+	switch name {
+	case seq.Protein.Name():
+		return seq.Protein, nil
+	case seq.DNA.Name():
+		return seq.DNA, nil
+	}
+	return nil, fmt.Errorf("remote: unknown alphabet %q", name)
+}
+
+// partitionName renders a shard.PartitionMode for Info.
+func partitionName(prefix bool) string {
+	if prefix {
+		return "prefix"
+	}
+	return "sequence"
+}

@@ -1,0 +1,108 @@
+// Package retry is the shared capped-exponential-backoff-with-jitter policy
+// used by every transient-failure retry loop in the stack: the checksummed
+// disk read path (internal/diskst) and the remote shard client
+// (internal/remote).
+//
+// The jitter is the point.  A deterministic 1ms -> 4ms -> 10ms ladder makes
+// every concurrent retrier hammer a struggling resource in lockstep — eight
+// shard workers that failed together retry together, and a coordinator whose
+// replicas all hiccup re-dials them on the same beat.  Each delay is instead
+// drawn uniformly from [(1-Jitter)·d, d], which keeps the exponential shape
+// (there is still a floor, so backoff still backs off) while de-correlating
+// the retriers.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry loop: up to Retries retries after the first
+// attempt, sleeping a jittered exponential delay between attempts.
+//
+// The zero value retries nothing; use Default for the standard shape.
+type Policy struct {
+	// Retries is how many times to retry after the first attempt (total
+	// tries = Retries+1).
+	Retries int
+	// Base is the pre-jitter delay before the first retry.
+	Base time.Duration
+	// Cap bounds the pre-jitter delay (0 = uncapped).
+	Cap time.Duration
+	// Growth multiplies the delay between consecutive retries (default 4).
+	Growth int
+	// Jitter is the fraction of each delay randomized away: the actual sleep
+	// is uniform in [(1-Jitter)·d, d].  <= 0 disables jitter (deterministic
+	// delays, for tests); values above 1 are clamped.
+	Jitter float64
+	// Rand overrides the uniform [0,1) source (tests inject determinism);
+	// nil uses math/rand's shared, lock-protected source.
+	Rand func() float64
+}
+
+// Default is the standard policy shape: capped exponential with x4 growth and
+// 50% jitter.
+func Default(retries int, base, cap time.Duration) Policy {
+	return Policy{Retries: retries, Base: base, Cap: cap, Growth: 4, Jitter: 0.5}
+}
+
+// Backoff returns the pre-jitter delay before retry attempt (0-based): Base
+// grown Growth-fold per attempt, bounded by Cap.
+func (p Policy) Backoff(attempt int) time.Duration {
+	d := p.Base
+	growth := p.Growth
+	if growth < 2 {
+		growth = 4
+	}
+	for i := 0; i < attempt; i++ {
+		d *= time.Duration(growth)
+		if p.Cap > 0 && d >= p.Cap {
+			return p.Cap
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Delay returns the jittered sleep before retry attempt (0-based).
+func (p Policy) Delay(attempt int) time.Duration {
+	d := p.Backoff(attempt)
+	j := p.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	r := p.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	lo := float64(d) * (1 - j)
+	return time.Duration(lo + r()*(float64(d)-lo))
+}
+
+// Sleep blocks for the jittered delay before retry attempt, honouring ctx:
+// it returns ctx.Err() when the context ends first, nil after a full sleep.
+// A nil ctx sleeps unconditionally.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

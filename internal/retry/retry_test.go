@@ -1,0 +1,76 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffShape(t *testing.T) {
+	p := Default(3, time.Millisecond, 10*time.Millisecond)
+	want := []time.Duration{time.Millisecond, 4 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffUncapped(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Growth: 2}
+	if got := p.Backoff(3); got != 8*time.Millisecond {
+		t.Errorf("Backoff(3) = %v, want 8ms", got)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Default(3, time.Millisecond, 10*time.Millisecond)
+	for attempt := 0; attempt < 4; attempt++ {
+		d := p.Backoff(attempt)
+		lo := time.Duration(float64(d) * 0.5)
+		for i := 0; i < 200; i++ {
+			got := p.Delay(attempt)
+			if got < lo || got > d {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, got, lo, d)
+			}
+		}
+	}
+}
+
+func TestDelayDeterministicWithoutJitter(t *testing.T) {
+	p := Policy{Retries: 2, Base: time.Millisecond, Cap: 10 * time.Millisecond}
+	if got := p.Delay(1); got != 4*time.Millisecond {
+		t.Errorf("Delay(1) without jitter = %v, want 4ms", got)
+	}
+}
+
+func TestDelayInjectedRand(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := p.Delay(0); got != 5*time.Millisecond {
+		t.Errorf("Delay with rand=0 = %v, want 5ms (the jitter floor)", got)
+	}
+	p.Rand = func() float64 { return 0.999999 }
+	if got := p.Delay(0); got < 9*time.Millisecond || got > 10*time.Millisecond {
+		t.Errorf("Delay with rand~1 = %v, want ~10ms", got)
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	p := Policy{Base: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+}
+
+func TestSleepNilContext(t *testing.T) {
+	p := Policy{Base: time.Millisecond}
+	if err := p.Sleep(nil, 0); err != nil {
+		t.Fatalf("Sleep(nil ctx) = %v", err)
+	}
+}

@@ -53,6 +53,16 @@ type merger struct {
 	nEmitted int
 	nDone    int
 	err      error
+	// onBound, when set, publishes the merged stream's own decreasing upper
+	// bound: after each event, the strongest score any FUTURE emission can
+	// carry (the max bound among unfinished shards, which also caps every
+	// buffered pending hit — a pending hit above every unfinished bound would
+	// have been released).  This is what lets a shard server re-export its
+	// locally merged stream as one more boundable provider stream for a
+	// coordinator (Engine.SearchBounded).  Returning false stops the stream
+	// like report returning false.
+	onBound   func(bound int) bool
+	lastBound int
 	// degraded lists shards quarantined mid-query: their worker failed with a
 	// non-fatal error, their bound was dropped and their un-emitted pending
 	// hits purged, and the stream completed from the survivors.
@@ -72,6 +82,7 @@ func newMerger(bounds []int, opts core.Options, totalRes int64, queryLen int, de
 		report:     report,
 		totalRes:   totalRes,
 		queryLen:   queryLen,
+		lastBound:  int(^uint(0) >> 1), // MaxInt
 	}
 	if dedup != nil {
 		m.stopAt = dedup.n
@@ -161,6 +172,10 @@ func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
 			stopped = true
 			cancelled.Store(true)
 		}
+		if !stopped && !m.publishBound() {
+			stopped = true
+			cancelled.Store(true)
+		}
 	}
 	if m.err == nil && len(m.degraded) == len(m.bounds) {
 		// No survivors: degradation has nothing to serve from.
@@ -234,6 +249,34 @@ func (m *merger) emitReady() bool {
 	return true
 }
 
+// publishBound forwards the merged stream's effective upper bound to onBound
+// whenever it decreases.  The bound is the max frontier bound among
+// unfinished shards: per-shard bounds only decrease and finishing only
+// removes terms from the max, so the published sequence is non-increasing,
+// and emitReady has just released everything above it, so every future
+// emission (buffered or still unreported) is capped by it.  It returns false
+// when the consumer stops the stream.
+func (m *merger) publishBound() bool {
+	if m.onBound == nil || m.nDone == len(m.bounds) {
+		return true
+	}
+	b := int(^uint(0)>>1) * -1 // MinInt; below any real bound
+	live := false
+	for s := range m.bounds {
+		if !m.done[s] {
+			live = true
+			if m.bounds[s] > b {
+				b = m.bounds[s]
+			}
+		}
+	}
+	if !live || b >= m.lastBound {
+		return true
+	}
+	m.lastBound = b
+	return m.onBound(b)
+}
+
 // shardHit tags a buffered hit with its producing shard so the hits of a
 // quarantined shard can be purged from the pending heap.
 type shardHit struct {
@@ -243,7 +286,10 @@ type shardHit struct {
 
 // hitQueue is a max-heap of hits ordered by score (ties: lower global
 // sequence index first, so simultaneous buffered ties release
-// deterministically).
+// deterministically; equal sequence — duplicate copies from prefix-mode
+// shards — by producing shard, so which copy survives deduplication is a
+// layout property, not an arrival-order race, and the surviving alignment
+// endpoint is reproducible run to run).
 type hitQueue struct {
 	hits []shardHit
 }
@@ -253,7 +299,10 @@ func (q *hitQueue) Less(i, j int) bool {
 	if q.hits[i].Score != q.hits[j].Score {
 		return q.hits[i].Score > q.hits[j].Score
 	}
-	return q.hits[i].SeqIndex < q.hits[j].SeqIndex
+	if q.hits[i].SeqIndex != q.hits[j].SeqIndex {
+		return q.hits[i].SeqIndex < q.hits[j].SeqIndex
+	}
+	return q.hits[i].shard < q.hits[j].shard
 }
 func (q *hitQueue) Swap(i, j int) { q.hits[i], q.hits[j] = q.hits[j], q.hits[i] }
 func (q *hitQueue) Push(x any)    { q.hits = append(q.hits, x.(shardHit)) }

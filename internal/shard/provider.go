@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/bufferpool"
+	"repro/internal/core"
+)
+
+// Provider is one opaque boundable hit stream the k-way merger can consume in
+// place of a local index shard: Stream must report hits in decreasing score
+// order with GLOBAL sequence indexes, and publish decreasing upper bounds on
+// every score it can still report, exactly as core.SearchStream does for a
+// local shard.  Returning false from either callback cancels the stream
+// (Stream then returns nil); opts.Context, when set, cancels it from outside.
+// opts.Stats, when non-nil, should receive the provider's work counters
+// before Stream returns.  opts.KA is nil on entry: E-values are attached by
+// the consuming merger with the coordinator's global totals.
+//
+// The motivating implementation is internal/remote's replicated shard-server
+// client, which is how the shard boundary crosses the network: a coordinator
+// engine built over N remote providers merges their streams through the same
+// strict-release rule as a single-process engine, so the merged output is
+// identical.
+type Provider interface {
+	Stream(query []byte, opts core.Options, hit func(core.Hit) bool, bound func(int) bool) error
+}
+
+// ProviderSet assembles a provider-backed engine: one sequence-disjoint
+// provider per shard slice over a shared global sequence index space, plus
+// the global catalog describing that space.
+type ProviderSet struct {
+	// Providers are the per-slice streams; slice s's hits must carry global
+	// sequence indexes disjoint from every other slice's.
+	Providers []Provider
+	// Catalog is the global sequence catalog (alphabet, totals).  Required:
+	// the engine cannot derive it from opaque providers.
+	Catalog core.Catalog
+	// Closers are resources the engine takes ownership of; Engine.Close
+	// releases them.
+	Closers []io.Closer
+}
+
+// NewEngineFromProviders assembles an engine whose shards are opaque provider
+// streams instead of local indexes.  Searches fan out to every provider and
+// merge with the same strict-release rule as local shards, so the output
+// stream is ordered, deduplicated (not needed — providers are disjoint) and
+// tie-broken exactly like a local multi-shard engine's.  Provider failures
+// quarantine the provider's slice through the standard degraded-completion
+// path (core.Options.StrictShards opts out).  opts.Shards and opts.Partition
+// are ignored; opts.Workers bounds concurrent provider streams as usual.
+func NewEngineFromProviders(set ProviderSet, opts Options) (*Engine, error) {
+	if len(set.Providers) == 0 {
+		return nil, fmt.Errorf("shard: provider set has no providers")
+	}
+	if set.Catalog == nil {
+		return nil, fmt.Errorf("shard: provider set needs a catalog")
+	}
+	e := &Engine{
+		mode:      PartitionBySequence,
+		providers: set.Providers,
+		cat:       set.Catalog,
+		closers:   set.Closers,
+	}
+	e.nShards = len(set.Providers)
+	e.numSeqs = e.cat.NumSequences()
+	e.total = e.cat.TotalResidues()
+	e.queryAl = e.cat.Alphabet()
+	e.workers = opts.Workers
+	if e.workers < 1 || e.workers > e.nShards {
+		e.workers = e.nShards
+	}
+	e.scratch = bufferpool.NewFreeList(4*(e.nShards+1), core.NewScratch)
+	e.dedups = bufferpool.NewFreeList(8, func() *dedupSet { return &dedupSet{} })
+	e.queued = make([]atomic.Int64, e.nShards)
+	e.active = make([]atomic.Int64, e.nShards)
+	return e, nil
+}
+
+// searchProviders fans the query out to every provider and merges the streams
+// exactly like searchSequence: providers are sequence-disjoint, so no
+// deduplication is needed, and every stream starts at the query's root bound.
+func (e *Engine) searchProviders(query []byte, opts core.Options, report func(core.Hit) bool, bsink func(int) bool) error {
+	rb := e.rootBound(query, opts)
+	bounds := make([]int, e.nShards)
+	for s := range bounds {
+		bounds[s] = rb
+	}
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, nil, report, nil, bsink,
+		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+			return e.providers[s].Stream(query, shardOpts, hit, frontier)
+		})
+}

@@ -134,6 +134,12 @@ type Engine struct {
 	// layer manages its own per-query ExtraSet instead (DiskOptions.BaseOnly)
 	// and leaves this nil.
 	mutable *ExtraSet
+	// providers, when set (NewEngineFromProviders), replace the local
+	// indexes entirely: each shard of the merge is one opaque boundable hit
+	// stream — in particular a remote shard server's stream (internal/remote).
+	// Provider shards are sequence-disjoint and always merge through
+	// fanOutMerge, never the single-shard fast path.
+	providers []Provider
 }
 
 // IndexSet describes prebuilt per-shard indexes for NewEngineFromSet.  It is
@@ -420,6 +426,12 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 	if err := e.applyStanding(opts); err != nil {
 		return err
 	}
+	if len(e.providers) > 0 {
+		if err := opts.Scheme.Validate(); err != nil {
+			return err
+		}
+		return e.searchProviders(query, opts, report, nil)
+	}
 	if e.nShards == 1 {
 		// One shard is the single-index search; skip the merge machinery.
 		globals := e.globals[0]
@@ -442,9 +454,46 @@ func (e *Engine) Search(query []byte, opts core.Options, report func(core.Hit) b
 		return err
 	}
 	if e.mode == PartitionByPrefix {
-		return e.searchPrefix(query, opts, report)
+		return e.searchPrefix(query, opts, report, nil)
 	}
-	return e.searchSequence(query, opts, report)
+	return e.searchSequence(query, opts, report, nil)
+}
+
+// SearchBounded is Search with a second online output: alongside the merged
+// decreasing-score hit stream, bound publishes a decreasing upper bound on
+// every hit the stream can still emit (the max frontier bound among the
+// engine's unfinished shards).  It is the per-shard (hit, bound) contract of
+// core.SearchStream lifted to the whole engine, which is exactly what a shard
+// SERVER needs to re-export its locally merged stream as one provider stream
+// a coordinator can merge with strict release (internal/remote).  A nil bound
+// is plain Search.  Returning false from either callback cancels the search.
+//
+// Unlike Search, a single-shard engine also routes through the merge
+// machinery here, so equal-score ties are always released in ascending global
+// sequence index — the canonical merged order a coordinator reproduces.
+func (e *Engine) SearchBounded(query []byte, opts core.Options, hit func(core.Hit) bool, bound func(int) bool) error {
+	if bound == nil {
+		return e.Search(query, opts, hit)
+	}
+	if err := e.applyStanding(opts); err != nil {
+		return err
+	}
+	if err := opts.Scheme.Validate(); err != nil {
+		return err
+	}
+	if len(e.providers) > 0 {
+		return e.searchProviders(query, opts, hit, bound)
+	}
+	if !e.mutable.empty() {
+		if e.mode == PartitionByPrefix && e.nShards > 1 {
+			return e.searchPrefixExtra(query, opts, e.mutable, hit, bound)
+		}
+		return e.searchSequenceExtra(query, opts, e.mutable, hit, bound)
+	}
+	if e.mode == PartitionByPrefix && e.nShards > 1 {
+		return e.searchPrefix(query, opts, hit, bound)
+	}
+	return e.searchSequence(query, opts, hit, bound)
 }
 
 // SearchExtra is Search with the engine layer's mutable context merged in:
@@ -458,6 +507,9 @@ func (e *Engine) SearchExtra(query []byte, opts core.Options, ext *ExtraSet, rep
 	if ext.empty() {
 		return e.Search(query, opts, report)
 	}
+	if len(e.providers) > 0 {
+		return fmt.Errorf("shard: provider-backed engines have no mutable layer")
+	}
 	if err := e.applyStanding(opts); err != nil {
 		return err
 	}
@@ -465,9 +517,9 @@ func (e *Engine) SearchExtra(query []byte, opts core.Options, ext *ExtraSet, rep
 		return err
 	}
 	if e.mode == PartitionByPrefix && e.nShards > 1 {
-		return e.searchPrefixExtra(query, opts, ext, report)
+		return e.searchPrefixExtra(query, opts, ext, report, nil)
 	}
-	return e.searchSequenceExtra(query, opts, ext, report)
+	return e.searchSequenceExtra(query, opts, ext, report, nil)
 }
 
 // applyStanding folds open-time quarantines into the query: strict mode
@@ -494,13 +546,13 @@ type shardSearchFn func(s int, shardOpts core.Options, hit func(core.Hit) bool, 
 
 // searchSequence is the PartitionBySequence multi-shard search: independent
 // per-shard indexes, disjoint sequence subsets, no deduplication needed.
-func (e *Engine) searchSequence(query []byte, opts core.Options, report func(core.Hit) bool) error {
+func (e *Engine) searchSequence(query []byte, opts core.Options, report func(core.Hit) bool, bsink func(int) bool) error {
 	bounds := make([]int, e.nShards)
 	rb := e.rootBound(query, opts)
 	for s := range bounds {
 		bounds[s] = rb
 	}
-	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, nil, report, nil,
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, nil, report, nil, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			globals := e.globals[s]
 			return core.SearchStream(e.indexes[s], query, shardOpts, func(h core.Hit) bool {
@@ -531,14 +583,14 @@ func (e *Engine) rootBound(query []byte, opts core.Options) int {
 // play the per-shard MaxResults budget is cleared — a shard could otherwise
 // exhaust it on hits the merger then drops, starving live hits it never got
 // to report.
-func (e *Engine) searchSequenceExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool) error {
+func (e *Engine) searchSequenceExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool, bsink func(int) bool) error {
 	rb := e.rootBound(query, opts)
 	bounds := make([]int, e.nShards+len(ext.Shards))
 	for s := range bounds {
 		bounds[s] = rb
 	}
 	clearMax := ext.Drop != nil
-	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, ext, report, nil,
+	return e.fanOutMerge(query, opts, bounds, nil, core.Stats{}, ext, report, nil, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			if clearMax {
 				shardOpts.MaxResults = 0
@@ -565,7 +617,7 @@ func (e *Engine) index(s int, ext *ExtraSet) (core.Index, []int) {
 // near-root expansion (columns computed once), then one seeded searcher per
 // shard over its disjoint subtrees, with sequence-level deduplication in the
 // merger.
-func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.Hit) bool) error {
+func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.Hit) bool, bsink func(int) bool) error {
 	frOpts := opts
 	frOpts.KA = nil
 	frOpts.Stats = nil
@@ -588,7 +640,7 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 	dedup.acquire(e.numSeqs)
 	defer e.dedups.Put(dedup)
 	return e.fanOutMerge(query, opts, fr.Bounds, dedup, fr.Stats, nil, report,
-		func(s int) bool { return len(fr.Seeds[s]) == 0 },
+		func(s int) bool { return len(fr.Seeds[s]) == 0 }, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			// The merger truncates the merged stream; a per-shard MaxResults
 			// budget could otherwise be exhausted by hits that later
@@ -605,7 +657,7 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 // from the query root bound.  Deduplication covers the full global space —
 // base sequences may repeat across prefix shards; delta sequences appear in
 // exactly one stream but flow through the same set harmlessly.
-func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool) error {
+func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSet, report func(core.Hit) bool, bsink func(int) bool) error {
 	frOpts := opts
 	frOpts.KA = nil
 	frOpts.Stats = nil
@@ -634,7 +686,7 @@ func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSe
 	dedup.acquire(n)
 	defer e.dedups.Put(dedup)
 	return e.fanOutMerge(query, opts, bounds, dedup, fr.Stats, ext, report,
-		func(s int) bool { return s < e.nShards && len(fr.Seeds[s]) == 0 },
+		func(s int) bool { return s < e.nShards && len(fr.Seeds[s]) == 0 }, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			shardOpts.MaxResults = 0
 			if s < e.nShards {
@@ -657,8 +709,9 @@ func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSe
 // prefix groups, seedless shards would otherwise queue real work behind
 // no-op searcher setup.  extraStats (the prefix mode's shared frontier
 // work) and the per-shard counters are merged into opts.Stats once every
-// shard has unwound.
-func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedup *dedupSet, extraStats core.Stats, ext *ExtraSet, report func(core.Hit) bool, idle func(s int) bool, search shardSearchFn) error {
+// shard has unwound.  bsink, when non-nil, receives the merged stream's own
+// decreasing upper bound (SearchBounded).
+func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedup *dedupSet, extraStats core.Stats, ext *ExtraSet, report func(core.Hit) bool, idle func(s int) bool, bsink func(int) bool, search shardSearchFn) error {
 	// len(bounds) counts every stream: the engine's own shards plus any
 	// extra (delta) shards appended after them.  The buffer holds at least
 	// one event per stream, so the idle-shard completions below never block
@@ -682,6 +735,7 @@ func (e *Engine) fanOutMerge(query []byte, opts core.Options, bounds []int, dedu
 		}(s)
 	}
 	m := newMerger(bounds, opts, e.total, len(query), dedup, report)
+	m.onBound = bsink
 	if ext != nil {
 		m.drop = ext.Drop
 		if ext.TotalResidues > 0 {
