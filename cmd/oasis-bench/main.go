@@ -48,6 +48,12 @@ func main() {
 			"fail -exp sharded when prefix-partitioned ColumnsExpanded exceeds this ratio of the 1-shard baseline (0 = no check; CI uses 1.05)")
 		cacheHitFloor = flag.Float64("cache-hit-floor", 0,
 			"fail -exp cache when the repeated-query streams' cache hit rate falls below this (0 = no check; CI uses 0.3)")
+		noSteal = flag.Bool("no-steal", false,
+			"disable work stealing between prefix shards in -exp sharded (scheduling ablation)")
+		bandGate = flag.Float64("band-gate", 0,
+			"fail -exp liveband when the band kernel's ns/op exceeds this ratio of the recorded baseline (0 = no check; CI uses 1.10)")
+		bandBaseline = flag.String("band-baseline", "BENCH_oasis.json",
+			"baseline benchmark report the -band-gate check compares against")
 	)
 	flag.Parse()
 
@@ -64,7 +70,13 @@ func main() {
 	}
 	shardCounts, err := parseShardCounts(*shards)
 	if err == nil {
-		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath, *prefixBudget, *cacheHitFloor)
+		err = run(cfg, *exps, *queryStr, shardCounts, *workers, *jsonPath, gates{
+			prefixBudget:  *prefixBudget,
+			cacheHitFloor: *cacheHitFloor,
+			noSteal:       *noSteal,
+			bandGate:      *bandGate,
+			bandBaseline:  *bandBaseline,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oasis-bench:", err)
@@ -91,12 +103,25 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string, prefixBudget, cacheHitFloor float64) error {
+// gates bundles the experiment toggles and CI regression checks a bench run
+// may enforce on top of measuring.
+type gates struct {
+	prefixBudget  float64
+	cacheHitFloor float64
+	noSteal       bool
+	bandGate      float64
+	bandBaseline  string
+}
+
+func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, workers int, jsonPath string, g gates) error {
 	selected := map[string]bool{}
 	for _, e := range strings.Split(exps, ",") {
 		selected[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
+	if g.bandGate > 0 && !want("liveband") {
+		return fmt.Errorf("-band-gate requires the liveband experiment (add liveband to -exp)")
+	}
 
 	fmt.Println("setting up workload and building the disk index ...")
 	lab, err := experiments.NewLab(cfg)
@@ -179,7 +204,7 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 		experiments.RenderFigure9(out, rows)
 	}
 	if want("sharded") {
-		rows, err := experiments.Sharded(lab, shardCounts, workers)
+		rows, err := experiments.Sharded(lab, shardCounts, workers, g.noSteal)
 		if err != nil {
 			return err
 		}
@@ -198,14 +223,15 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 					"speedup": r.Speedup,
 					"workers": float64(r.Workers),
 					"hits":    float64(r.Hits),
+					"steals":  float64(r.Steals),
 				},
 			})
 		}
-		if prefixBudget > 0 {
-			if err := experiments.CheckPrefixColumns(rows, prefixBudget); err != nil {
+		if g.prefixBudget > 0 {
+			if err := experiments.CheckPrefixColumns(rows, g.prefixBudget); err != nil {
 				return err
 			}
-			fmt.Printf("prefix-sharded ColumnsExpanded within %.2fx of the 1-shard baseline\n", prefixBudget)
+			fmt.Printf("prefix-sharded ColumnsExpanded within %.2fx of the 1-shard baseline\n", g.prefixBudget)
 		}
 	}
 	if want("liveband") {
@@ -214,13 +240,27 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 			return err
 		}
 		experiments.RenderLiveBand(out, row)
+		refOverBand := 0.0
+		if row.BandTime > 0 {
+			refOverBand = float64(row.RefTime) / float64(row.BandTime)
+		}
 		report.Records = append(report.Records,
 			experiments.BenchRecord{
 				Name:            "liveband/band",
 				NsPerOp:         float64(row.BandTime),
 				ColumnsExpanded: row.Columns,
 				CellsComputed:   row.BandCells,
-				Extra:           map[string]float64{"cell_fraction": row.CellFraction, "hits": float64(row.Hits)},
+				Extra: map[string]float64{
+					"cell_fraction": row.CellFraction,
+					"hits":          float64(row.Hits),
+					"ref_over_band": refOverBand,
+				},
+			},
+			experiments.BenchRecord{
+				Name:            "liveband/ref-kernel",
+				NsPerOp:         float64(row.RefTime),
+				ColumnsExpanded: row.Columns,
+				CellsComputed:   row.BandCells,
 			},
 			experiments.BenchRecord{
 				Name:            "liveband/full-sweep",
@@ -228,6 +268,12 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 				ColumnsExpanded: row.Columns,
 				CellsComputed:   row.FullCells,
 			})
+		if g.bandGate > 0 {
+			if err := experiments.CheckBandGate(row, g.bandBaseline, g.bandGate); err != nil {
+				return err
+			}
+			fmt.Printf("live-band kernel within %.2fx of the %s baseline\n", g.bandGate, g.bandBaseline)
+		}
 	}
 	if want("batch") {
 		// The batch experiment measures what the warm engine amortises, at
@@ -279,11 +325,11 @@ func run(cfg experiments.Config, exps, queryStr string, shardCounts []int, worke
 				},
 			})
 		}
-		if cacheHitFloor > 0 {
-			if err := experiments.CheckCacheHits(rows, cacheHitFloor); err != nil {
+		if g.cacheHitFloor > 0 {
+			if err := experiments.CheckCacheHits(rows, g.cacheHitFloor); err != nil {
 				return err
 			}
-			fmt.Printf("repeated-query cache hit rate at or above %.2f\n", cacheHitFloor)
+			fmt.Printf("repeated-query cache hit rate at or above %.2f\n", g.cacheHitFloor)
 		}
 	}
 	if want("disk") {

@@ -15,13 +15,22 @@ import (
 // Internal NodeRefs are the suffix tree's own node identifiers (the root is
 // always node 0), so translation between the two spaces is free; leaf
 // NodeRefs are suffix start positions, exactly as for the disk index.
+//
+// Reporting an accepted node must enumerate every leaf below it, which for
+// near-root nodes is a large fraction of the tree; walking the
+// first-child/next-sibling links there costs one random node fetch per edge.
+// The adapter therefore precomputes one Euler tour at construction: leafPos
+// lists every leaf's suffix position in depth-first order, and each node's
+// subtree owns the contiguous range leafPos[leafLo[n]:leafHi[n]], so
+// LeafPositions is a linear scan of a packed array in exactly the order the
+// link walk would have produced.
 type MemoryIndex struct {
-	tree *suffixtree.Tree
-	db   *seq.Database
-	// leafOf maps suffix positions to leaf NodeIDs; it is built lazily and
-	// only consulted when a caller addresses a leaf directly (reporting
-	// never needs it: a leaf's position is its reference).
-	leafOf map[int64]suffixtree.NodeID
+	tree    *suffixtree.Tree
+	db      *seq.Database
+	textLen int64
+	leafPos []int64
+	leafLo  []int32
+	leafHi  []int32
 }
 
 // NewMemoryIndex builds the adapter.  The tree must have been built over the
@@ -34,16 +43,29 @@ func NewMemoryIndex(tree *suffixtree.Tree, db *seq.Database) (*MemoryIndex, erro
 		return nil, fmt.Errorf("core: tree was not built over the supplied database")
 	}
 	m := &MemoryIndex{
-		tree:   tree,
-		db:     db,
-		leafOf: map[int64]suffixtree.NodeID{},
+		tree:    tree,
+		db:      db,
+		textLen: int64(len(tree.Text())),
+		leafPos: make([]int64, 0, tree.NumLeaves()),
+		leafLo:  make([]int32, tree.NumNodes()),
+		leafHi:  make([]int32, tree.NumNodes()),
 	}
-	tree.Walk(tree.Root(), func(n suffixtree.NodeID) bool {
-		if tree.IsLeaf(n) {
-			m.leafOf[tree.SuffixStart(n)] = n
-		}
-		return true
-	})
+	var dfs func(n suffixtree.NodeID)
+	dfs = func(n suffixtree.NodeID) {
+		m.leafLo[n] = int32(len(m.leafPos))
+		tree.VisitEdges(n, func(c suffixtree.NodeID, _ []byte, suffixStart int64) bool {
+			if suffixStart >= 0 {
+				m.leafLo[c] = int32(len(m.leafPos))
+				m.leafPos = append(m.leafPos, suffixStart)
+				m.leafHi[c] = int32(len(m.leafPos))
+			} else {
+				dfs(c)
+			}
+			return true
+		})
+		m.leafHi[n] = int32(len(m.leafPos))
+	}
+	dfs(tree.Root())
 	return m, nil
 }
 
@@ -65,11 +87,12 @@ func (m *MemoryIndex) Root() NodeRef { return InternalRef(0) }
 
 func (m *MemoryIndex) resolve(ref NodeRef) (suffixtree.NodeID, error) {
 	if ref.IsLeaf() {
-		id, ok := m.leafOf[ref.LeafPos()]
-		if !ok {
-			return 0, fmt.Errorf("core: unknown leaf position %d", ref.LeafPos())
+		// A leaf's position is its reference; no node lookup is needed (or
+		// possible: leaves are addressed by position everywhere).
+		if pos := ref.LeafPos(); pos < 0 || pos >= m.textLen {
+			return 0, fmt.Errorf("core: unknown leaf position %d", pos)
 		}
-		return id, nil
+		return 0, nil
 	}
 	idx := ref.InternalIndex()
 	if idx < 0 || idx >= int64(m.tree.NumNodes()) {
@@ -88,39 +111,43 @@ func (m *MemoryIndex) VisitChildren(ref NodeRef, parentDepth int, fn func(child 
 	if err != nil {
 		return err
 	}
+	if ref.IsLeaf() {
+		return nil // leaves have no children
+	}
 	// One label wrapper is reused for every child: converting a pointer to
 	// the EdgeLabel interface does not allocate, and the interface contract
 	// only guarantees validity within the callback.
 	label := &ByteLabel{}
-	for c := m.tree.FirstChild(id); c != suffixtree.NoNode; c = m.tree.NextSibling(c) {
+	var visitErr error
+	m.tree.VisitEdges(id, func(c suffixtree.NodeID, edge []byte, suffixStart int64) bool {
 		var childRef NodeRef
-		if m.tree.IsLeaf(c) {
-			childRef = LeafRef(m.tree.SuffixStart(c))
+		if suffixStart >= 0 {
+			childRef = LeafRef(suffixStart)
 		} else {
 			childRef = InternalRef(int64(c))
 		}
-		label.B = m.tree.EdgeLabel(c)
-		if err := fn(childRef, label); err != nil {
-			return err
-		}
-	}
-	return nil
+		label.B = edge
+		visitErr = fn(childRef, label)
+		return visitErr == nil
+	})
+	return visitErr
 }
 
 // LeafPositions implements Index.
 func (m *MemoryIndex) LeafPositions(ref NodeRef, fn func(pos int64) bool) error {
-	if ref.IsLeaf() {
-		if _, err := m.resolve(ref); err != nil {
-			return err
-		}
-		fn(ref.LeafPos())
-		return nil
-	}
 	id, err := m.resolve(ref)
 	if err != nil {
 		return err
 	}
-	m.tree.LeafPositions(id, fn)
+	if ref.IsLeaf() {
+		fn(ref.LeafPos())
+		return nil
+	}
+	for _, pos := range m.leafPos[m.leafLo[id]:m.leafHi[id]] {
+		if !fn(pos) {
+			return nil
+		}
+	}
 	return nil
 }
 

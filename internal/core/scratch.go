@@ -5,7 +5,8 @@ import "repro/internal/score"
 // Scratch holds every reusable buffer a searcher needs, so a long-running
 // engine can run many queries without re-allocating per query: the reported
 // flags, the DP column scratch pair, the heuristic and profile vectors, the
-// recycled column/node free lists and the priority-queue backing array.
+// structure-of-arrays node stores (see store.go), the recycled band free
+// lists and the priority-queue backing array.
 //
 // A Scratch may be reused across queries of different lengths and across
 // indexes of different sizes (buffers grow on demand and reported flags are
@@ -18,21 +19,30 @@ type Scratch struct {
 	// them in O(hits) instead of O(sequences).
 	reported []bool
 	touched  []int
-	// prevBuf/curBuf are the column sweep's scratch pair.
-	prevBuf []int
-	curBuf  []int
-	// h is the heuristic vector buffer; prof the query profile buffer.
-	h    []int
-	prof []int
-	// freeBands/freeNodes recycle band slices (bucketed by power-of-two
-	// capacity class, see searcher.allocBand) and searchNode structs across
-	// node expansions and across queries.  Band classes are query-length
-	// independent, so recycled bands carry over between queries of different
-	// lengths without capacity checks.
-	freeBands [][][]int
-	freeNodes []*searchNode
-	// heapItems is the priority queue's backing array.
-	heapItems []*searchNode
+	// prevBuf/curBuf are the column sweep's scratch pair: m+2 cells so the
+	// fast kernel can write its above-band sentinel at index m+1 (kernel.go).
+	prevBuf []int32
+	curBuf  []int32
+	// h is the heuristic vector buffer; h32 its int32 copy for the kernels.
+	h   []int
+	h32 []int32
+	// prof is the row-major query profile (prof[(i-1)*width + sym], reference
+	// kernel); profT the transposed profile (profT[sym*m + i-1], fast kernel).
+	prof  []int32
+	profT []int32
+	// freeBands recycles band slices, bucketed by power-of-two capacity class
+	// (see searcher.allocBand).  Band classes are query-length independent,
+	// so recycled bands carry over between queries of different lengths
+	// without capacity checks.
+	freeBands [][][]int32
+	// nodes/acc are the structure-of-arrays stores for viable and accepted
+	// search nodes (store.go); reset between queries, arrays reused.
+	nodes nodeStore
+	acc   accStore
+	// bq is the bucket priority queue (lanes and entry arena reused across
+	// queries); heapItems backs the fallback heap.
+	bq        bucketQueue
+	heapItems []heapEnt
 }
 
 // NewScratch returns an empty Scratch; buffers are allocated and grown by the
@@ -52,24 +62,37 @@ func (sc *Scratch) acquire(n, m int, matrix *score.Matrix, query []byte) {
 	if len(sc.reported) < n {
 		sc.reported = make([]bool, n)
 	}
-	if cap(sc.prevBuf) < m+1 {
-		sc.prevBuf = make([]int, m+1)
+	if cap(sc.prevBuf) < m+2 {
+		sc.prevBuf = make([]int32, m+2)
 	}
-	sc.prevBuf = sc.prevBuf[:m+1]
-	if cap(sc.curBuf) < m+1 {
-		sc.curBuf = make([]int, m+1)
+	sc.prevBuf = sc.prevBuf[:m+2]
+	if cap(sc.curBuf) < m+2 {
+		sc.curBuf = make([]int32, m+2)
 	}
-	sc.curBuf = sc.curBuf[:m+1]
+	sc.curBuf = sc.curBuf[:m+2]
 	sc.h = HeuristicVectorInto(sc.h, query, matrix)
+	if cap(sc.h32) < m+1 {
+		sc.h32 = make([]int32, m+1)
+	}
+	sc.h32 = sc.h32[:m+1]
+	for i, v := range sc.h {
+		sc.h32[i] = int32(v)
+	}
 	width := matrix.Size()
 	need := m * width
 	if cap(sc.prof) < need {
-		sc.prof = make([]int, need)
+		sc.prof = make([]int32, need)
+		sc.profT = make([]int32, need)
 	}
 	sc.prof = sc.prof[:need]
+	sc.profT = sc.profT[:need]
 	for i, q := range query {
 		for sym := 0; sym < width; sym++ {
-			sc.prof[i*width+sym] = matrix.Score(q, byte(sym))
+			v := int32(matrix.Score(q, byte(sym)))
+			sc.prof[i*width+sym] = v
+			sc.profT[sym*m+i] = v
 		}
 	}
+	sc.nodes.reset()
+	sc.acc.reset()
 }

@@ -12,6 +12,14 @@ import (
 // negInf is the pruned-score sentinel (alias of score.NegInf).
 const negInf = score.NegInf
 
+// maxKernelScore caps the heuristic prefix sum h[0] (the largest score any
+// search over the query could produce).  Cell values and priority bounds are
+// kept in int32 (see store.go); the cap leaves headroom so no sum the
+// kernels form — including sentinel arithmetic around negInf — can leave the
+// int32 domain.  It allows queries up to hundreds of millions of residues of
+// best-case score before refusing.
+const maxKernelScore = 1 << 28
+
 // Options configures an OASIS search.
 type Options struct {
 	// Scheme is the substitution matrix and (linear) gap penalty.
@@ -35,6 +43,12 @@ type Options struct {
 	// flag exists so tests and benchmarks can quantify the band's
 	// CellsComputed reduction.
 	DisableLiveBand bool
+	// ReferenceKernel selects the original scalar column sweep (per-cell
+	// band-bound guards, sentinel-guarded adds, branchy bookkeeping) instead
+	// of the branch-free structure-of-arrays kernel.  Results and work
+	// counters are identical either way (FuzzKernelEquivalence); the flag
+	// exists for differential testing and for ablating the kernel rewrite.
+	ReferenceKernel bool
 	// Scratch, when non-nil, supplies reusable search buffers so warm
 	// engines avoid per-query allocation.  A Scratch must serve at most one
 	// search at a time; results are identical with or without it.
@@ -145,47 +159,6 @@ func (s *Stats) Add(other Stats) {
 	s.ShardErrors = append(s.ShardErrors, other.ShardErrors...)
 }
 
-// tag is the search-node state from the paper: viable nodes may still yield
-// stronger alignments and are expanded further; accepted nodes report their
-// subtree's sequences when they reach the head of the queue; unviable nodes
-// are discarded immediately and never enter the queue.
-type tag uint8
-
-const (
-	tagViable tag = iota
-	tagAccepted
-)
-
-// searchNode is a node of the OASIS search space.  It corresponds to a
-// suffix-tree node and carries one column of the dynamic-programming matrix
-// (the paper's C vector) plus the path bookkeeping needed for pruning and
-// reporting.
-type searchNode struct {
-	ref   NodeRef
-	depth int // symbols on the path from the root
-	// band holds the live cells of the node's DP column (the paper's C
-	// vector): band[i] is C[cLo+i], the best score of an alignment between
-	// Q[1..cLo+i] and a suffix of the node's path.  Every cell outside
-	// [cLo, cHi] is negInf by construction and is not stored, so viable-node
-	// memory is proportional to the live band (~18% of the full column on
-	// the Figure-4 workload) instead of len(query)+1.  Only retained for
-	// viable nodes (accepted nodes never expand further).
-	band []int
-	// cLo/cHi bound the live band within the logical column.
-	cLo, cHi int
-	// maxScore is the strongest alignment found along this path.
-	maxScore int
-	// bestQueryEnd / bestPathDepth record where maxScore was achieved, for
-	// hit reporting.
-	bestQueryEnd  int
-	bestPathDepth int
-	// f orders the priority queue: an upper bound on any score obtainable
-	// below this node (viable) or the score to report (accepted).
-	f   int
-	tag tag
-	seq int64 // insertion counter for deterministic tie-breaking
-}
-
 // Search runs the OASIS algorithm for query over the index and calls report
 // once per qualifying database sequence, in decreasing order of alignment
 // score (the paper's online property).  The search stops when report returns
@@ -236,41 +209,57 @@ func SearchAll(idx Index, query []byte, opts Options) ([]Hit, error) {
 // search) so warm engines can reuse them across queries; release copies the
 // mutable slice headers back when the search finishes.
 type searcher struct {
-	idx      Index
-	cat      Catalog
-	query    []byte
-	opts     Options
-	sc       *Scratch
-	h        []int // heuristic vector, length m+1
-	pq       nodeHeap
-	reported []bool
-	nHits    int
-	seqGen   int64
-	stats    *Stats
+	idx   Index
+	cat   Catalog
+	query []byte
+	opts  Options
+	sc    *Scratch
+	h     []int   // heuristic vector, length m+1
+	h32   []int32 // the kernels' int32 copy of h
+	// The priority queue: bq (O(1) bucket queue over the small f domain
+	// [MinScore, h[0]]) whenever that domain fits maxBucketRange, pq (4-ary
+	// heap) as the fallback for pathologically wide domains.  Both implement
+	// the same total order, so the choice never changes results.
+	useBuckets bool
+	bq         *bucketQueue
+	pq         nodeHeap
+	nodes      *nodeStore // viable-node structure-of-arrays (lives in sc)
+	acc        *accStore  // accepted-node bookkeeping, packed separately
+	reported   []bool
+	nHits      int
+	seqGen     uint32
+	stats      *Stats
 	// frontier, when non-nil, receives the f-value of every popped node
 	// (see SearchStream).
 	frontier func(bound int) bool
+	// claim, when non-nil, pulls additional frontier seeds into the queue on
+	// demand (SearchSeedsDynamic): before every pop it is offered the
+	// current queue-top f and may hand back one more seed to push, until it
+	// returns nil.
+	claim func(topF int) *Seed
 	// ctx/pollEvery/pollCountdown implement Options.Context: the countdown
 	// decrements once per DP column across expansions, and each time it hits
 	// zero the context is polled (ctx is nil when polling is disabled).
 	ctx           context.Context
 	pollEvery     int
 	pollCountdown int
-	// prevBuf/curBuf are scratch columns reused across expansions to avoid
-	// a pair of allocations per visited child.
-	prevBuf []int
-	curBuf  []int
+	// prevBuf/curBuf are scratch columns (m+2 cells: one sentinel above the
+	// band, see kernel.go) reused across expansions.
+	prevBuf []int32
+	curBuf  []int32
 	// freeBands recycles the band slices of popped viable nodes, bucketed by
 	// power-of-two capacity class so a recycled slice always fits requests of
 	// its class (see allocBand).
-	freeBands [][][]int
-	// freeNodes recycles searchNode structs of popped nodes.
-	freeNodes []*searchNode
-	// prof is the query profile: prof[(i-1)*profWidth + sym] is the
-	// substitution score of query position i against symbol sym, hoisting
-	// the matrix lookup out of the inner loop.
-	prof      []int
+	freeBands [][][]int32
+	// prof is the query profile in row-major order (prof[(i-1)*profWidth +
+	// sym]), used by the reference kernel; profT is the transposed profile
+	// (profT[sym*m + (i-1)]), whose per-symbol rows are contiguous for the
+	// fast kernel's column sweeps.
+	prof      []int32
+	profT     []int32
 	profWidth int
+	refKernel bool
+	full      bool
 }
 
 func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
@@ -303,6 +292,9 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 		sc = NewScratch()
 	}
 	sc.acquire(cat.NumSequences(), len(query), mat, query)
+	if len(sc.h) > 0 && sc.h[0] > maxKernelScore {
+		return nil, fmt.Errorf("core: query heuristic bound %d exceeds the kernel's score capacity %d", sc.h[0], maxKernelScore)
+	}
 	s := &searcher{
 		idx:       idx,
 		cat:       cat,
@@ -310,14 +302,19 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 		opts:      opts,
 		sc:        sc,
 		h:         sc.h,
+		h32:       sc.h32,
+		nodes:     &sc.nodes,
+		acc:       &sc.acc,
 		reported:  sc.reported[:cat.NumSequences()],
 		stats:     st,
 		prevBuf:   sc.prevBuf,
 		curBuf:    sc.curBuf,
 		freeBands: sc.freeBands,
-		freeNodes: sc.freeNodes,
 		prof:      sc.prof,
+		profT:     sc.profT,
 		profWidth: mat.Size(),
+		refKernel: opts.ReferenceKernel,
+		full:      opts.DisableLiveBand,
 	}
 	if opts.Context != nil && opts.CancelPollColumns >= 0 {
 		s.ctx = opts.Context
@@ -327,8 +324,39 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 		}
 		s.pollCountdown = s.pollEvery
 	}
+	if len(sc.h) > 0 && sc.h[0] >= opts.MinScore && sc.h[0]-opts.MinScore+1 <= maxBucketRange {
+		s.useBuckets = true
+		s.bq = &sc.bq
+		s.bq.init(opts.MinScore, sc.h[0])
+	}
 	s.pq.items = sc.heapItems[:0]
 	return s, nil
+}
+
+// queueTopF returns the highest queued f, or negInf when the queue is empty.
+func (s *searcher) queueTopF() int {
+	if s.useBuckets {
+		return s.bq.topF()
+	}
+	if len(s.pq.items) == 0 {
+		return negInf
+	}
+	return s.pq.items[0].f()
+}
+
+// queuePop removes and returns the highest-priority entry, if any.
+func (s *searcher) queuePop() (heapEnt, bool) {
+	if s.useBuckets {
+		if s.bq.size == 0 {
+			return heapEnt{}, false
+		}
+		id, f, accepted := s.bq.pop()
+		return heapEnt{key: heapKey(f, accepted), id: id}, true
+	}
+	if len(s.pq.items) == 0 {
+		return heapEnt{}, false
+	}
+	return s.pq.pop(), true
 }
 
 // release hands the searcher's (possibly reallocated) buffers back to the
@@ -339,8 +367,9 @@ func (s *searcher) release() {
 	sc.prevBuf = s.prevBuf
 	sc.curBuf = s.curBuf
 	sc.freeBands = s.freeBands
-	sc.freeNodes = s.freeNodes
 	sc.heapItems = s.pq.items[:0]
+	sc.nodes.reset()
+	sc.acc.reset()
 }
 
 // bandClass buckets a band width into its power-of-two size class, so the
@@ -353,7 +382,7 @@ func bandClass(width int) int {
 // allocBand returns a band buffer of the given width (in cells), reusing a
 // recycled slice of the same size class when available.  Band buffers are
 // arena-style: capacity is the class's power of two, length the live width.
-func (s *searcher) allocBand(width int) []int {
+func (s *searcher) allocBand(width int) []int32 {
 	if width > s.stats.MaxBandWidth {
 		s.stats.MaxBandWidth = width
 	}
@@ -367,11 +396,11 @@ func (s *searcher) allocBand(width int) []int {
 		s.freeBands[class] = s.freeBands[class][:n-1]
 		return b[:width]
 	}
-	return make([]int, width, 1<<class)
+	return make([]int32, width, 1<<class)
 }
 
 // recycleBand returns a node's band buffer to its size-class free list.
-func (s *searcher) recycleBand(b []int) {
+func (s *searcher) recycleBand(b []int32) {
 	if b == nil {
 		return
 	}
@@ -388,24 +417,21 @@ func (s *searcher) recycleBand(b []int) {
 	}
 }
 
-// allocNode returns a zeroed searchNode, reusing a recycled one when
-// available.
-func (s *searcher) allocNode() *searchNode {
-	if n := len(s.freeNodes); n > 0 {
-		nd := s.freeNodes[n-1]
-		s.freeNodes = s.freeNodes[:n-1]
-		*nd = searchNode{}
-		return nd
-	}
-	return &searchNode{}
+// releaseViable recycles a fully processed viable node: its band goes back to
+// the size-class free lists and its id to the store.
+func (s *searcher) releaseViable(id int32) {
+	ns := s.nodes
+	s.recycleBand(ns.band[id])
+	ns.band[id] = nil
+	ns.free = append(ns.free, id)
 }
 
-// recycleNode returns a popped, fully processed node to the free list.
-func (s *searcher) recycleNode(n *searchNode) {
-	s.recycleBand(n.band)
-	n.band = nil
-	if len(s.freeNodes) < 1024 {
-		s.freeNodes = append(s.freeNodes, n)
+// recycleEnt recycles whichever store a popped entry references.
+func (s *searcher) recycleEnt(e heapEnt) {
+	if e.accepted() {
+		s.acc.release(e.id)
+	} else {
+		s.releaseViable(e.id)
 	}
 }
 
@@ -439,61 +465,75 @@ func HeuristicVectorInto(buf []int, query []byte, m *score.Matrix) []int {
 // loop (the whole-index search; subtree-sharded searches seed the queue from
 // a Frontier instead, see SearchSeedsStream).
 func (s *searcher) runFromRoot(report func(Hit) bool) error {
-	if root := s.rootNode(); root != nil {
-		s.push(root)
+	if id, f, ok := s.rootNode(); ok {
+		s.push(f, false, id)
 	}
 	return s.run(report)
 }
 
 // run executes the main best-first loop (paper Algorithm 1) over whatever
-// nodes have been pushed.
+// nodes have been pushed (plus whatever the claim hook hands out).
 func (s *searcher) run(report func(Hit) bool) error {
-	for s.pq.Len() > 0 {
-		n := s.pop()
-		if s.frontier != nil && !s.frontier(n.f) {
-			s.recycleNode(n)
+	for {
+		if s.claim != nil {
+			topF := s.queueTopF()
+			for {
+				seed := s.claim(topF)
+				if seed == nil {
+					break
+				}
+				s.pushSeed(seed)
+				topF = s.queueTopF()
+			}
+		}
+		e, ok := s.queuePop()
+		if !ok {
 			return nil
 		}
-		if n.tag == tagAccepted {
-			done, err := s.reportSubtree(n, report)
+		if s.frontier != nil && !s.frontier(e.f()) {
+			s.recycleEnt(e)
+			return nil
+		}
+		if e.accepted() {
+			done, err := s.reportAccepted(e.id, report)
+			s.acc.release(e.id)
 			if err != nil {
 				return err
 			}
 			if done {
 				return nil
 			}
-			s.recycleNode(n)
 			continue
 		}
 		// Viable: expand every child of the corresponding suffix-tree node.
 		s.stats.NodesExpanded++
-		err := s.idx.VisitChildren(n.ref, n.depth, func(child NodeRef, label EdgeLabel) error {
-			cn, err := s.expand(n, child, label)
+		id := e.id
+		err := s.idx.VisitChildren(s.nodes.ref[id], int(s.nodes.depth[id]), func(child NodeRef, label EdgeLabel) error {
+			r, err := s.expand(id, child, label)
 			if err != nil {
 				return err
 			}
-			if cn != nil {
-				s.push(cn)
+			if r.ok {
+				s.push(r.f, r.accepted, r.id)
 			}
 			return nil
 		})
+		// The popped node (and its column vector) is no longer needed.
+		s.releaseViable(id)
 		if err != nil {
 			return err
 		}
-		// The popped node (and its column vector) is no longer needed.
-		s.recycleNode(n)
 	}
-	return nil
 }
 
 // rootNode builds the initial search node (paper Algorithm 2): the score
 // vector is zero (alignments may skip any query prefix for free), pruned
 // where even the full heuristic cannot reach minScore.  Because the
 // heuristic is non-increasing in i, the live cells form the prefix [0, hi].
-func (s *searcher) rootNode() *searchNode {
+func (s *searcher) rootNode() (id int32, f int, ok bool) {
 	m := len(s.query)
 	hi := -1
-	f := negInf
+	f = negInf
 	for i := 0; i <= m; i++ {
 		if s.h[i] >= s.opts.MinScore {
 			hi = i
@@ -504,10 +544,10 @@ func (s *searcher) rootNode() *searchNode {
 	}
 	if hi < 0 {
 		// Even a perfect match of the whole query cannot reach minScore.
-		return nil
+		return -1, 0, false
 	}
 	lo := 0
-	if s.opts.DisableLiveBand {
+	if s.full {
 		hi = m
 	}
 	band := s.allocBand(hi - lo + 1)
@@ -515,24 +555,34 @@ func (s *searcher) rootNode() *searchNode {
 		if s.h[i] >= s.opts.MinScore {
 			band[i-lo] = 0
 		} else {
-			band[i-lo] = negInf // full-sweep mode stores the pruned tail too
+			band[i-lo] = negInf32 // full-sweep mode stores the pruned tail too
 		}
 	}
-	return &searchNode{
-		ref:      s.idx.Root(),
-		depth:    0,
-		band:     band,
-		cLo:      lo,
-		cHi:      hi,
-		maxScore: 0,
-		f:        f,
-		tag:      tagViable,
-	}
+	ns := s.nodes
+	id = ns.alloc()
+	ns.ref[id] = s.idx.Root()
+	ns.depth[id] = 0
+	ns.cLo[id] = int32(lo)
+	ns.cHi[id] = int32(hi)
+	ns.maxSc[id] = 0
+	ns.qEnd[id] = 0
+	ns.pDep[id] = 0
+	ns.band[id] = band
+	return id, f, true
+}
+
+// expandResult is expand's outcome: the stored child node (viable or
+// accepted) and its priority bound, or ok == false for an unviable child.
+type expandResult struct {
+	id       int32
+	f        int
+	accepted bool
+	ok       bool
 }
 
 // expand fills in the dynamic-programming columns for the symbols on the
-// edge leading to child (paper Algorithm 3) and returns the resulting search
-// node, or nil when the node is unviable.
+// edge leading to child (paper Algorithm 3) and stores the resulting search
+// node, or reports it unviable.
 //
 // The edge label is consumed lazily (chunk by chunk) so that long leaf edges
 // are only read as far as the column sweep actually progresses before the
@@ -542,32 +592,183 @@ func (s *searcher) rootNode() *searchNode {
 // live interval [lo, hi] of non-negInf cells (cells outside it are never
 // revived by later columns except through the insertion chain immediately
 // above hi), so only cells reachable from the previous column's band are
-// computed.  Cells outside a column's band are never written and may hold
-// stale values from buffer reuse — every read below is therefore guarded by
-// the band bounds.  Options.DisableLiveBand widens the band to the full
-// column, restoring the original exhaustive sweep.
-func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*searchNode, error) {
+// computed.  Options.DisableLiveBand widens the band to the full column,
+// restoring the original exhaustive sweep; Options.ReferenceKernel selects
+// the original guarded scalar sweep (see kernel.go for both kernels).
+func (s *searcher) expand(parentID int32, child NodeRef, label EdgeLabel) (expandResult, error) {
+	if s.refKernel {
+		return s.expandRef(parentID, child, label)
+	}
+	return s.expandFast(parentID, child, label)
+}
+
+// closeOut stores a node whose subtree is finished — closed out by the prune
+// rule, a leaf, or a terminator — as accepted (when its best score qualifies)
+// or unviable.
+func (s *searcher) closeOut(child NodeRef, maxScore, bestQEnd, bestDepth int32) expandResult {
+	if int(maxScore) >= s.opts.MinScore {
+		s.stats.NodesAccepted++
+		id := s.acc.alloc()
+		s.acc.ref[id] = child
+		s.acc.score[id] = maxScore
+		s.acc.qEnd[id] = bestQEnd
+		s.acc.pDep[id] = bestDepth
+		return expandResult{id: id, f: int(maxScore), accepted: true, ok: true}
+	}
+	s.stats.NodesUnviable++
+	return expandResult{}
+}
+
+// storeViable stores a still-viable node and returns its queue entry.
+func (s *searcher) storeViable(child NodeRef, depth int32, plo, phi int, band []int32, maxScore, bestQEnd, bestDepth int32, f int) expandResult {
+	ns := s.nodes
+	id := ns.alloc()
+	ns.ref[id] = child
+	ns.depth[id] = depth
+	ns.maxSc[id] = maxScore
+	ns.qEnd[id] = bestQEnd
+	ns.pDep[id] = bestDepth
+	ns.cLo[id] = int32(plo)
+	ns.cHi[id] = int32(phi)
+	b := s.allocBand(phi - plo + 1)
+	copy(b, band[plo:phi+1])
+	ns.band[id] = b
+	return expandResult{id: id, f: f, ok: true}
+}
+
+// expandFast is expand on the branch-free edge kernel: sweepEdgeFast
+// processes a whole edge-label chunk per call (capped to the cancellation
+// poll interval when a context is set), so the per-column loop runs inside
+// the kernel instead of re-crossing the call boundary every symbol.
+func (s *searcher) expandFast(parentID int32, child NodeRef, label EdgeLabel) (expandResult, error) {
 	m := len(s.query)
-	mat := s.opts.Scheme.Matrix
-	gap := s.opts.Scheme.Gap
-	minScore := s.opts.MinScore
-	h := s.h
-	full := s.opts.DisableLiveBand
+	gap := int32(s.opts.Scheme.Gap)
+	minScore := int32(s.opts.MinScore)
+	ns := s.nodes
 
 	// prev/cur are searcher-owned scratch buffers (reused across every
 	// expansion); prev starts as a copy of the parent's live band so the
 	// parent's vector stays intact for its other children.  The locals swap
-	// roles once per column; every return path below re-synchronises the
-	// searcher fields with the locals so buffer ownership stays explicit.
+	// roles with every column the kernel completes; every return path below
+	// re-synchronises the searcher fields so buffer ownership stays explicit.
 	prev := s.prevBuf
 	cur := s.curBuf
-	plo, phi := parent.cLo, parent.cHi
-	copy(prev[plo:phi+1], parent.band)
-	maxScore := parent.maxScore
-	bestQEnd := parent.bestQueryEnd
-	bestDepth := parent.bestPathDepth
+	plo, phi := int(ns.cLo[parentID]), int(ns.cHi[parentID])
+	copy(prev[plo:phi+1], ns.band[parentID])
+	maxScore := ns.maxSc[parentID]
+	bestQEnd := ns.qEnd[parentID]
+	bestDepth := ns.pDep[parentID]
+	parentDepth := int(ns.depth[parentID])
 
-	hColumn := negInf
+	fBound := negInf
+	consumed := 0
+	var cells int64
+	terminator := false
+	labelLen := label.Len()
+	for j := 0; j < labelLen && !terminator; {
+		to := j + 64
+		if to > labelLen {
+			to = labelLen
+		}
+		chunk, err := label.Symbols(j, to)
+		if err != nil {
+			s.recordColumns(consumed, cells)
+			s.prevBuf, s.curBuf = prev, cur
+			return expandResult{}, err
+		}
+		j = to
+		for len(chunk) > 0 && !terminator {
+			part := chunk
+			// Cancellation poll (Options.Context): cap the kernel call at the
+			// remaining poll budget so a query stuck in a long hit-less DP
+			// stretch still observes ctx within pollEvery columns instead of
+			// only at the next hit callback.
+			if s.ctx != nil && s.pollCountdown < len(part) {
+				if s.pollCountdown < 1 {
+					s.pollCountdown = 1
+				}
+				part = part[:s.pollCountdown]
+			}
+			r := sweepEdgeFast(prev, cur, s.profT, s.h32, s.profWidth, part, plo, phi, m, gap, maxScore, minScore, s.full)
+			cells += r.cells
+			if r.bestCol > 0 {
+				bestQEnd = r.bestQEnd
+				bestDepth = int32(parentDepth + consumed + int(r.bestCol))
+			}
+			maxScore = r.maxScore
+			consumed += int(r.columns)
+			terminator = r.terminator
+			if r.swapped {
+				prev, cur = cur, prev
+			}
+			switch r.status {
+			case sweepClosed:
+				// Nothing below this node can beat the alignment already
+				// found along this path.
+				s.recordColumns(consumed, cells)
+				s.prevBuf, s.curBuf = prev, cur
+				return s.closeOut(child, maxScore, bestQEnd, bestDepth), nil
+			case sweepDead:
+				s.recordColumns(consumed, cells)
+				s.prevBuf, s.curBuf = prev, cur
+				s.stats.NodesUnviable++
+				return expandResult{}, nil
+			}
+			plo, phi = int(r.plo), int(r.phi)
+			if r.columns > 0 {
+				fBound = int(r.colBest)
+			}
+			chunk = chunk[r.columns:]
+			if s.ctx != nil {
+				s.pollCountdown -= int(r.columns)
+				if s.pollCountdown <= 0 {
+					s.pollCountdown = s.pollEvery
+					if err := s.ctx.Err(); err != nil {
+						s.recordColumns(consumed, cells)
+						s.prevBuf, s.curBuf = prev, cur
+						return expandResult{}, err
+					}
+				}
+			}
+		}
+	}
+	s.recordColumns(consumed, cells)
+	// Keep the searcher's scratch pointers consistent with the swaps.
+	s.prevBuf, s.curBuf = prev, cur
+
+	// The whole edge label has been consumed (or a terminator reached).
+	if child.IsLeaf() || terminator {
+		// No further expansion is possible below a leaf or past a terminator.
+		return s.closeOut(child, maxScore, bestQEnd, bestDepth), nil
+	}
+	if consumed == 0 {
+		// Degenerate empty edge (cannot happen in a well-formed index).
+		s.stats.NodesUnviable++
+		return expandResult{}, nil
+	}
+	return s.storeViable(child, int32(parentDepth+consumed), plo, phi, prev, maxScore, bestQEnd, bestDepth, fBound), nil
+}
+
+// expandRef is expand on the retained scalar reference kernel
+// (Options.ReferenceKernel): one guarded sweepColumnRef call per symbol, the
+// original structure the fast path is differentially tested against.
+func (s *searcher) expandRef(parentID int32, child NodeRef, label EdgeLabel) (expandResult, error) {
+	m := len(s.query)
+	gap := int32(s.opts.Scheme.Gap)
+	minScore := int32(s.opts.MinScore)
+	full := s.full
+	ns := s.nodes
+
+	prev := s.prevBuf
+	cur := s.curBuf
+	plo, phi := int(ns.cLo[parentID]), int(ns.cHi[parentID])
+	copy(prev[plo:phi+1], ns.band[parentID])
+	maxScore := ns.maxSc[parentID]
+	bestQEnd := ns.qEnd[parentID]
+	bestDepth := ns.pDep[parentID]
+	parentDepth := int(ns.depth[parentID])
+
+	hColumn := negInf32
 	columns := 0
 	var cells int64
 	terminator := false
@@ -575,10 +776,6 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 	var chunk []byte
 	chunkStart, chunkEnd := 0, 0
 	for j := 0; j < labelLen; j++ {
-		// Cancellation poll (Options.Context): one countdown per column,
-		// carried across expansions on the searcher, so a query stuck in a
-		// long hit-less DP stretch still observes ctx within pollEvery
-		// columns instead of only at the next hit callback.
 		if s.ctx != nil {
 			s.pollCountdown--
 			if s.pollCountdown <= 0 {
@@ -586,7 +783,7 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 				if err := s.ctx.Err(); err != nil {
 					s.recordColumns(columns, cells)
 					s.prevBuf, s.curBuf = prev, cur
-					return nil, err
+					return expandResult{}, err
 				}
 			}
 		}
@@ -599,156 +796,54 @@ func (s *searcher) expand(parent *searchNode, child NodeRef, label EdgeLabel) (*
 			chunk, err = label.Symbols(j, to)
 			if err != nil {
 				s.prevBuf, s.curBuf = prev, cur
-				return nil, err
+				return expandResult{}, err
 			}
 			chunkStart, chunkEnd = j, to
 		}
 		sym := chunk[j-chunkStart]
-		if int(sym) >= mat.Size() {
+		if int(sym) >= s.profWidth {
 			// Sequence terminator: alignments never extend across it; the
 			// remaining label (if any) is beyond this sequence.
 			terminator = true
 			break
 		}
-		pathDepth := parent.depth + j + 1
-		colBest := negInf
-		curLo, curHi := m+1, -1
-		// upCell tracks cur[i-1] through the sweep so the insertion move
-		// never reads an unwritten cell.
-		upCell := negInf
-		// Row 0 (the empty query prefix) is never computed: its only source
-		// is a deletion from the previous column's row 0 (a zero reset would
-		// duplicate work done on other suffixes), so its value starts at 0 in
-		// the root column and can only decrease by the (negative) gap — the
-		// v <= 0 pruning rule therefore kills it in every expanded column.
-		// The full-sweep mode still stores the pruned cell so the whole
-		// column stays defined for the next sweep.
-		if full {
-			cur[0] = negInf
-		}
-		profRow := s.prof[:]
-		symInt := int(sym)
-		start := plo
-		if start < 1 {
-			start = 1
-		}
-		for i := start; i <= m; i++ {
-			v := negInf
-			if i-1 >= plo && i-1 <= phi {
-				v = addScore(prev[i-1], profRow[(i-1)*s.profWidth+symInt]) // substitution
-			}
-			if up := addScore(upCell, gap); up > v { // insertion: consume a query symbol
-				v = up
-			}
-			if i <= phi { // i >= plo always holds here
-				if left := addScore(prev[i], gap); left > v { // deletion: consume a target symbol
-					v = left
-				}
-			}
-			// Alignment pruning (paper Section 3.2, cases 1-3).
-			if v <= 0 || v+h[i] <= maxScore || v+h[i] < minScore {
-				v = negInf
-			}
-			cur[i] = v
-			cells++
-			upCell = v
-			if v != negInf {
-				if curLo > m {
-					curLo = i
-				}
-				curHi = i
-				if v > maxScore {
-					maxScore = v
-					bestQEnd = i
-					bestDepth = pathDepth
-				}
-				if v+h[i] > colBest {
-					colBest = v + h[i]
-				}
-			} else if i > phi && !full {
-				// Past the previous column's band only the insertion chain
-				// can stay alive; once it dies the rest of the column is
-				// negInf and need not be touched.
-				break
-			}
+		r := sweepColumnRef(prev, cur, s.prof, s.h32, s.profWidth, int(sym), plo, phi, m, gap, maxScore, minScore, full)
+		cells += int64(r.cells)
+		if r.maxScore > maxScore {
+			maxScore = r.maxScore
+			bestQEnd = r.bestQEnd
+			bestDepth = int32(parentDepth + j + 1)
 		}
 		columns++
-		hColumn = colBest
+		hColumn = r.colBest
 		if maxScore >= hColumn {
-			// Nothing below this node can beat the alignment already found
-			// along this path.
 			s.recordColumns(columns, cells)
 			s.prevBuf, s.curBuf = prev, cur
-			if maxScore >= minScore {
-				s.stats.NodesAccepted++
-				node := s.allocNode()
-				node.ref = child
-				node.depth = parent.depth + j + 1
-				node.maxScore = maxScore
-				node.bestQueryEnd = bestQEnd
-				node.bestPathDepth = bestDepth
-				node.f = maxScore
-				node.tag = tagAccepted
-				return node, nil
-			}
-			s.stats.NodesUnviable++
-			return nil, nil
+			return s.closeOut(child, maxScore, bestQEnd, bestDepth), nil
 		}
 		if hColumn < minScore {
 			s.recordColumns(columns, cells)
 			s.prevBuf, s.curBuf = prev, cur
 			s.stats.NodesUnviable++
-			return nil, nil
+			return expandResult{}, nil
 		}
 		prev, cur = cur, prev
-		plo, phi = curLo, curHi
+		plo, phi = int(r.curLo), int(r.curHi)
 		if full {
 			plo, phi = 0, m
 		}
 	}
 	s.recordColumns(columns, cells)
-	// Keep the searcher's scratch pointers consistent with the swaps.
 	s.prevBuf, s.curBuf = prev, cur
 
-	// The whole edge label has been consumed (or a terminator reached).
-	node := s.allocNode()
-	node.ref = child
-	node.depth = parent.depth + columns
-	node.maxScore = maxScore
-	node.bestQueryEnd = bestQEnd
-	node.bestPathDepth = bestDepth
 	if child.IsLeaf() || terminator {
-		// No further expansion is possible below a leaf.
-		if maxScore >= minScore {
-			node.tag = tagAccepted
-			node.f = maxScore
-			s.stats.NodesAccepted++
-			return node, nil
-		}
-		s.stats.NodesUnviable++
-		s.recycleNode(node)
-		return nil, nil
+		return s.closeOut(child, maxScore, bestQEnd, bestDepth), nil
 	}
 	if columns == 0 {
-		// Degenerate empty edge (cannot happen in a well-formed index).
 		s.stats.NodesUnviable++
-		s.recycleNode(node)
-		return nil, nil
+		return expandResult{}, nil
 	}
-	node.tag = tagViable
-	node.f = hColumn
-	node.cLo, node.cHi = plo, phi
-	node.band = s.allocBand(phi - plo + 1)
-	copy(node.band, prev[plo:phi+1]) // prev holds the last computed column after the swap
-	return node, nil
-}
-
-// addScore adds a matrix/gap score to a cell value, keeping negInf absorbing.
-func addScore(v, delta int) int {
-	if v <= negInf {
-		return negInf
-	}
-	return v + delta
+	return s.storeViable(child, int32(parentDepth+columns), plo, phi, prev, maxScore, bestQEnd, bestDepth, int(hColumn)), nil
 }
 
 func (s *searcher) recordColumns(columns int, cells int64) {
@@ -756,13 +851,18 @@ func (s *searcher) recordColumns(columns int, cells int64) {
 	s.stats.CellsComputed += cells
 }
 
-// reportSubtree reports every not-yet-reported sequence that contains a leaf
-// below the accepted node.  It returns true when the search is finished
-// (callback cancelled, MaxResults reached, or every sequence reported).
-func (s *searcher) reportSubtree(n *searchNode, report func(Hit) bool) (bool, error) {
+// reportAccepted reports every not-yet-reported sequence that contains a
+// leaf below the accepted node id.  It returns true when the search is
+// finished (callback cancelled, MaxResults reached, or every sequence
+// reported).
+func (s *searcher) reportAccepted(id int32, report func(Hit) bool) (bool, error) {
+	ref := s.acc.ref[id]
+	nScore := int(s.acc.score[id])
+	nQEnd := int(s.acc.qEnd[id])
+	nPDep := int(s.acc.pDep[id])
 	done := false
 	var walkErr error
-	err := s.idx.LeafPositions(n.ref, func(pos int64) bool {
+	err := s.idx.LeafPositions(ref, func(pos int64) bool {
 		seqIdx, local, err := s.cat.Locate(pos)
 		if err != nil {
 			walkErr = err
@@ -778,9 +878,9 @@ func (s *searcher) reportSubtree(n *searchNode, report func(Hit) bool) (bool, er
 		hit := Hit{
 			SeqIndex:  seqIdx,
 			SeqID:     s.cat.SequenceID(seqIdx),
-			Score:     n.maxScore,
-			QueryEnd:  n.bestQueryEnd,
-			TargetEnd: int(local) + n.bestPathDepth,
+			Score:     nScore,
+			QueryEnd:  nQEnd,
+			TargetEnd: int(local) + nPDep,
 			Rank:      s.nHits,
 		}
 		if hit.TargetEnd > s.cat.SequenceLength(seqIdx) {
@@ -809,73 +909,20 @@ func (s *searcher) reportSubtree(n *searchNode, report func(Hit) bool) (bool, er
 	return done, err
 }
 
-func (s *searcher) push(n *searchNode) {
-	n.seq = s.seqGen
-	s.seqGen++
-	s.pq.push(n)
+func (s *searcher) push(f int, accepted bool, id int32) {
 	s.stats.NodesPushed++
+	if s.useBuckets {
+		s.bq.push(f, accepted, id)
+		if s.bq.size > s.stats.MaxQueueSize {
+			s.stats.MaxQueueSize = s.bq.size
+		}
+		return
+	}
+	s.pq.push(heapEnt{key: heapKey(f, accepted), seq: s.seqGen, id: id})
+	s.seqGen++
 	if s.pq.Len() > s.stats.MaxQueueSize {
 		s.stats.MaxQueueSize = s.pq.Len()
 	}
-}
-
-func (s *searcher) pop() *searchNode { return s.pq.pop() }
-
-// nodeHeap is a max-heap over searchNodes ordered by f (ties: accepted nodes
-// before viable ones, then insertion order for determinism).
-type nodeHeap struct {
-	items []*searchNode
-}
-
-func nodeLess(a, b *searchNode) bool {
-	if a.f != b.f {
-		return a.f > b.f
-	}
-	if a.tag != b.tag {
-		return a.tag == tagAccepted
-	}
-	return a.seq < b.seq
-}
-
-func (h *nodeHeap) Len() int { return len(h.items) }
-
-func (h *nodeHeap) push(n *searchNode) {
-	h.items = append(h.items, n)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if nodeLess(h.items[i], h.items[parent]) {
-			h.items[i], h.items[parent] = h.items[parent], h.items[i]
-			i = parent
-			continue
-		}
-		break
-	}
-}
-
-func (h *nodeHeap) pop() *searchNode {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items[last] = nil
-	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < len(h.items) && nodeLess(h.items[l], h.items[best]) {
-			best = l
-		}
-		if r < len(h.items) && nodeLess(h.items[r], h.items[best]) {
-			best = r
-		}
-		if best == i {
-			break
-		}
-		h.items[i], h.items[best] = h.items[best], h.items[i]
-		i = best
-	}
-	return top
 }
 
 // SortHits orders hits by decreasing score then by sequence index; used when

@@ -386,24 +386,42 @@ func TestMultiSequenceReporting(t *testing.T) {
 
 func TestNodeHeapOrdering(t *testing.T) {
 	var h nodeHeap
-	h.push(&searchNode{f: 5, seq: 0})
-	h.push(&searchNode{f: 9, seq: 1})
-	h.push(&searchNode{f: 9, tag: tagAccepted, seq: 2})
-	h.push(&searchNode{f: 1, seq: 3})
-	h.push(&searchNode{f: 7, seq: 4})
+	h.push(heapEnt{key: heapKey(5, false), seq: 0})
+	h.push(heapEnt{key: heapKey(9, false), seq: 1})
+	h.push(heapEnt{key: heapKey(9, true), seq: 2})
+	h.push(heapEnt{key: heapKey(1, false), seq: 3})
+	h.push(heapEnt{key: heapKey(7, false), seq: 4})
 	// Highest f first; among equal f the accepted node wins.
-	n := h.pop()
-	if n.f != 9 || n.tag != tagAccepted {
-		t.Fatalf("first pop = %+v", n)
+	e := h.pop()
+	if e.f() != 9 || !e.accepted() {
+		t.Fatalf("first pop = f %d accepted %v", e.f(), e.accepted())
 	}
 	order := []int{9, 7, 5, 1}
 	for _, want := range order {
-		if got := h.pop().f; got != want {
+		if got := h.pop().f(); got != want {
 			t.Fatalf("pop order wrong: got %d want %d", got, want)
 		}
 	}
 	if h.Len() != 0 {
 		t.Fatal("heap not empty")
+	}
+}
+
+func TestHeapKeyRoundTrip(t *testing.T) {
+	for _, f := range []int{negInf, negInf + 1, -1, 0, 1, 5, maxKernelScore} {
+		for _, acc := range []bool{false, true} {
+			e := heapEnt{key: heapKey(f, acc)}
+			if e.f() != f || e.accepted() != acc {
+				t.Fatalf("round trip (%d,%v) -> (%d,%v)", f, acc, e.f(), e.accepted())
+			}
+		}
+	}
+	// Accepted wins at equal f but never outranks a higher f.
+	if !entLess(heapEnt{key: heapKey(9, true)}, heapEnt{key: heapKey(9, false)}) {
+		t.Fatal("accepted should outrank viable at equal f")
+	}
+	if entLess(heapEnt{key: heapKey(9, true)}, heapEnt{key: heapKey(10, false)}) {
+		t.Fatal("higher f must outrank the accepted bit")
 	}
 }
 

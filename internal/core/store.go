@@ -1,0 +1,331 @@
+package core
+
+// Structure-of-arrays search-node storage.
+//
+// The best-first loop used to traffic in *searchNode pointers: a ~120-byte
+// struct per live node, a pointer heap whose comparisons chased two cache
+// lines per level, and accepted-node reporting fields carried by every viable
+// node.  The hot loop only ever touches a handful of those fields at a time,
+// so the node state now lives in parallel arrays indexed by a small integer
+// id ("structure of arrays"):
+//
+//	viable node id ──┬── nodeStore.ref[id]    suffix-tree node
+//	                 ├── nodeStore.depth[id]  path depth
+//	                 ├── nodeStore.cLo[id] ┐  live band interval
+//	                 ├── nodeStore.cHi[id] ┘
+//	                 ├── nodeStore.maxSc[id]  best score on the path
+//	                 ├── nodeStore.qEnd[id] ┐ where maxSc was achieved
+//	                 ├── nodeStore.pDep[id] ┘
+//	                 └── nodeStore.band[id]   column cells C[cLo..cHi]
+//	                                          (int32, recycled by size class)
+//
+// Accepted nodes never expand and never store a column; their four reporting
+// fields are packed into a separate, much smaller accStore instead of
+// widening every viable node.  The priority queue holds 16-byte value
+// entries (heapEnt) whose primary comparison is a single uint64 compare —
+// no pointer dereference, no per-node allocation.
+//
+// Ids are recycled through per-store free lists, and both stores live in the
+// Scratch so a warm engine reuses the arrays across queries.
+
+// nodeStore holds every VIABLE search node of one search as parallel arrays.
+// Scores and band cells are int32: cell values are bounded by the heuristic
+// prefix sum h[0], which newSearcher caps well below 1<<31 (maxKernelScore).
+type nodeStore struct {
+	ref   []NodeRef
+	depth []int32
+	cLo   []int32
+	cHi   []int32
+	maxSc []int32
+	qEnd  []int32
+	pDep  []int32
+	band  [][]int32
+	free  []int32
+}
+
+// alloc returns a free viable-node id, growing the arrays when the free list
+// is empty.  The caller overwrites every field, so entries are not zeroed.
+func (ns *nodeStore) alloc() int32 {
+	if n := len(ns.free); n > 0 {
+		id := ns.free[n-1]
+		ns.free = ns.free[:n-1]
+		return id
+	}
+	id := int32(len(ns.ref))
+	ns.ref = append(ns.ref, 0)
+	ns.depth = append(ns.depth, 0)
+	ns.cLo = append(ns.cLo, 0)
+	ns.cHi = append(ns.cHi, 0)
+	ns.maxSc = append(ns.maxSc, 0)
+	ns.qEnd = append(ns.qEnd, 0)
+	ns.pDep = append(ns.pDep, 0)
+	ns.band = append(ns.band, nil)
+	return id
+}
+
+// reset prepares the store for a new search.  Band slices still referenced by
+// entries of an early-terminated search are dropped to the GC (exactly like
+// the old pointer nodes left in the abandoned heap); bands of fully processed
+// nodes were already recycled to the scratch free lists.
+func (ns *nodeStore) reset() {
+	ns.ref = ns.ref[:0]
+	ns.depth = ns.depth[:0]
+	ns.cLo = ns.cLo[:0]
+	ns.cHi = ns.cHi[:0]
+	ns.maxSc = ns.maxSc[:0]
+	ns.qEnd = ns.qEnd[:0]
+	ns.pDep = ns.pDep[:0]
+	for i := range ns.band {
+		ns.band[i] = nil
+	}
+	ns.band = ns.band[:0]
+	ns.free = ns.free[:0]
+}
+
+// accStore holds every ACCEPTED node's reporting fields: the subtree to
+// report, the score, and where along the path it was achieved.
+type accStore struct {
+	ref   []NodeRef
+	score []int32
+	qEnd  []int32
+	pDep  []int32
+	free  []int32
+}
+
+func (as *accStore) alloc() int32 {
+	if n := len(as.free); n > 0 {
+		id := as.free[n-1]
+		as.free = as.free[:n-1]
+		return id
+	}
+	id := int32(len(as.ref))
+	as.ref = append(as.ref, 0)
+	as.score = append(as.score, 0)
+	as.qEnd = append(as.qEnd, 0)
+	as.pDep = append(as.pDep, 0)
+	return id
+}
+
+func (as *accStore) release(id int32) {
+	as.free = append(as.free, id)
+}
+
+func (as *accStore) reset() {
+	as.ref = as.ref[:0]
+	as.score = as.score[:0]
+	as.qEnd = as.qEnd[:0]
+	as.pDep = as.pDep[:0]
+	as.free = as.free[:0]
+}
+
+// heapEnt is one priority-queue entry: 16 bytes of value state instead of a
+// pointer into a node struct.  key packs the ordering so the primary
+// comparison is one uint64 compare:
+//
+//	key = uint64(f - negInf) << 1 | acceptedBit
+//
+// Larger key = higher priority (higher f; accepted before viable at equal f,
+// matching the original nodeLess).  seq breaks remaining ties by insertion
+// order for run-to-run determinism.  id indexes the accStore when the
+// accepted bit is set, the nodeStore otherwise.
+type heapEnt struct {
+	key uint64
+	seq uint32
+	id  int32
+}
+
+func heapKey(f int, accepted bool) uint64 {
+	k := uint64(f-negInf) << 1
+	if accepted {
+		k |= 1
+	}
+	return k
+}
+
+// f recovers the node's priority bound from the packed key.
+func (e heapEnt) f() int { return int(e.key>>1) + negInf }
+
+// accepted reports whether the entry references the accStore.
+func (e heapEnt) accepted() bool { return e.key&1 != 0 }
+
+func entLess(a, b heapEnt) bool {
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	return a.seq < b.seq
+}
+
+// bucketQueue is the priority queue used when the query's f domain is small
+// enough to index directly (which it virtually always is: every pushed node
+// has f in [minScore, h[0]], and h[0] is bounded by query length times the
+// best substitution score).  One FIFO lane pair — accepted entries first,
+// then viable — per f value reproduces the heap's total order (f descending,
+// accepted before viable, insertion order last) with O(1) pushes and pops
+// instead of cache-missing sift-downs: pops dominate the best-first loop at
+// ~3 DP cells per column.
+//
+// The pop cursor (top) only ever rescans downward as far as new pushes raise
+// it; with the admissible heuristic f is non-increasing along every search
+// path, so the cursor's total downward travel per query is bounded by the f
+// range, not the node count.
+type bucketQueue struct {
+	// ents is the entry arena, one entry per push, in push (seq) order.
+	ents []bucketEnt
+	// lanes[f-base] holds the two FIFO lanes for f.
+	lanes []laneHeads
+	// top is the highest lane offset that may be non-empty.
+	top  int
+	size int
+	base int // f of lane offset 0 (= MinScore)
+}
+
+type bucketEnt struct {
+	id   int32
+	next int32 // arena index of the lane's next entry; -1 ends the lane
+}
+
+// laneHeads holds the head/tail arena indexes of one f value's two FIFO
+// lanes (-1 = empty).
+type laneHeads struct {
+	accHead, accTail int32
+	viaHead, viaTail int32
+}
+
+// maxBucketRange caps the f domain the bucket queue will index directly
+// (lanes cost 16 bytes per f value); wider domains fall back to the heap.
+const maxBucketRange = 1 << 16
+
+// init prepares the queue for f values in [base, fMax].
+func (q *bucketQueue) init(base, fMax int) {
+	n := fMax - base + 1
+	if cap(q.lanes) < n {
+		q.lanes = make([]laneHeads, n)
+	}
+	q.lanes = q.lanes[:n]
+	for i := range q.lanes {
+		q.lanes[i] = laneHeads{accHead: -1, accTail: -1, viaHead: -1, viaTail: -1}
+	}
+	q.ents = q.ents[:0]
+	q.top = 0
+	q.size = 0
+	q.base = base
+}
+
+func (q *bucketQueue) push(f int, accepted bool, id int32) {
+	off := f - q.base
+	e := int32(len(q.ents))
+	q.ents = append(q.ents, bucketEnt{id: id, next: -1})
+	ln := &q.lanes[off]
+	if accepted {
+		if ln.accTail < 0 {
+			ln.accHead = e
+		} else {
+			q.ents[ln.accTail].next = e
+		}
+		ln.accTail = e
+	} else {
+		if ln.viaTail < 0 {
+			ln.viaHead = e
+		} else {
+			q.ents[ln.viaTail].next = e
+		}
+		ln.viaTail = e
+	}
+	if off > q.top {
+		q.top = off
+	}
+	q.size++
+}
+
+// topF returns the highest queued f (advancing the cursor), or negInf when
+// the queue is empty.
+func (q *bucketQueue) topF() int {
+	if q.size == 0 {
+		return negInf
+	}
+	for {
+		ln := &q.lanes[q.top]
+		if ln.accHead >= 0 || ln.viaHead >= 0 {
+			return q.base + q.top
+		}
+		q.top--
+	}
+}
+
+func (q *bucketQueue) pop() (id int32, f int, accepted bool) {
+	f = q.topF()
+	ln := &q.lanes[q.top]
+	var e int32
+	if ln.accHead >= 0 {
+		accepted = true
+		e = ln.accHead
+		ln.accHead = q.ents[e].next
+		if ln.accHead < 0 {
+			ln.accTail = -1
+		}
+	} else {
+		e = ln.viaHead
+		ln.viaHead = q.ents[e].next
+		if ln.viaHead < 0 {
+			ln.viaTail = -1
+		}
+	}
+	q.size--
+	return q.ents[e].id, f, accepted
+}
+
+// nodeHeap is a 4-ary max-heap over heapEnt (highest f first; accepted
+// before viable at equal f; then insertion order).  Four children per level
+// halves the sift-down depth of a binary heap, and the four 16-byte entries
+// of one family span a single cache line, so the extra comparisons per level
+// are nearly free next to the saved memory accesses.
+type nodeHeap struct {
+	items []heapEnt
+}
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+
+func (h *nodeHeap) push(e heapEnt) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if entLess(h.items[i], h.items[parent]) {
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+			continue
+		}
+		break
+	}
+}
+
+func (h *nodeHeap) pop() heapEnt {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	n := len(h.items)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entLess(h.items[c], h.items[best]) {
+				best = c
+			}
+		}
+		if !entLess(h.items[best], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}

@@ -6,7 +6,8 @@ package core
 // the search space itself — disjoint top-level subtrees go to different
 // workers.  ExpandFrontier performs the near-root expansion once, producing a
 // set of Seeds (subtree entry points with their DP columns precomputed), and
-// SearchSeedsStream resumes the best-first search from a seed subset.  The
+// SearchSeedsStream resumes the best-first search from a seed subset
+// (SearchSeedsDynamic from a claim callback, for work stealing).  The
 // near-root columns are therefore computed exactly once regardless of the
 // shard count, and — absent early termination — the total work across all
 // shards equals the single-searcher work cell for cell.
@@ -28,6 +29,17 @@ type SubtreeAssigner interface {
 	Owner(first, second byte) int
 }
 
+// PrefixCoster is an optional SubtreeAssigner extension exposing the exact
+// per-prefix-group suffix counts the partitioner derived: work stealers use
+// them to pick the victim shard with the most estimated work remaining.
+type PrefixCoster interface {
+	// PrefixCost returns the number of indexed suffixes in the prefix group:
+	// every suffix starting with first when second < 0, or with the
+	// two-symbol prefix (first, second) otherwise (second may be
+	// seq.Terminator).
+	PrefixCost(first byte, second int) int64
+}
+
 // Seed is one precomputed entry point into the search space: a suffix-tree
 // subtree together with the live band of the DP column at its top node, as
 // produced by the shared near-root expansion.  A Seed owns its band copy and
@@ -35,12 +47,13 @@ type SubtreeAssigner interface {
 type Seed struct {
 	ref           NodeRef
 	depth         int
-	band          []int // live cells C[cLo..cHi]; nil for accepted seeds
+	band          []int32 // live cells C[cLo..cHi]; nil for accepted seeds
 	cLo, cHi      int
 	maxScore      int
 	bestQueryEnd  int
 	bestPathDepth int
 	f             int
+	cost          int64
 	accepted      bool
 }
 
@@ -48,8 +61,23 @@ type Seed struct {
 // within the subtree (viable) or the score it will report (accepted).
 func (s *Seed) F() int { return s.f }
 
+// NewTestSeed builds a bare seed carrying only a priority bound and a work
+// estimate — enough for scheduling-layer tests (internal/shard's steal pool)
+// that never hand the seed to a searcher.
+func NewTestSeed(f int, cost int64) Seed { return Seed{f: f, cost: cost} }
+
 // Accepted reports whether the seed's whole subtree is already accepted.
 func (s *Seed) Accepted() bool { return s.accepted }
+
+// Cost estimates the seed's remaining work as the suffix count of its prefix
+// group (when the assigner implements PrefixCoster; 1 otherwise), so a work
+// stealer can order victims by estimated backlog.
+func (s *Seed) Cost() int64 {
+	if s.cost > 0 {
+		return s.cost
+	}
+	return 1
+}
 
 // Frontier is the result of the shared near-root expansion: the subtree
 // seeds grouped by owning shard, the work the expansion cost (counted once,
@@ -86,6 +114,7 @@ func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigne
 		return nil, err
 	}
 	defer s.release()
+	coster, _ := assign.(PrefixCoster)
 
 	fr := &Frontier{
 		Seeds:  make([][]Seed, nShards),
@@ -94,38 +123,58 @@ func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigne
 	for i := range fr.Bounds {
 		fr.Bounds[i] = negInf
 	}
-	root := s.rootNode()
-	if root == nil {
+	rootID, _, ok := s.rootNode()
+	if !ok {
 		fr.Stats = st
 		return fr, nil
 	}
 
 	nextFallback := 0 // round-robin target for seeds with no prefix owner
-	addSeed := func(shard int, n *searchNode) {
+	addSeed := func(shard int, r expandResult, cost int64) {
 		if shard < 0 || shard >= nShards {
 			shard = nextFallback % nShards
 			nextFallback++
 		}
-		seed := Seed{
-			ref:           n.ref,
-			depth:         n.depth,
-			cLo:           n.cLo,
-			cHi:           n.cHi,
-			maxScore:      n.maxScore,
-			bestQueryEnd:  n.bestQueryEnd,
-			bestPathDepth: n.bestPathDepth,
-			f:             n.f,
-			accepted:      n.tag == tagAccepted,
+		var seed Seed
+		if r.accepted {
+			id := r.id
+			seed = Seed{
+				ref:           s.acc.ref[id],
+				maxScore:      int(s.acc.score[id]),
+				bestQueryEnd:  int(s.acc.qEnd[id]),
+				bestPathDepth: int(s.acc.pDep[id]),
+				f:             r.f,
+				accepted:      true,
+			}
+			s.acc.release(id)
+		} else {
+			id := r.id
+			ns := s.nodes
+			seed = Seed{
+				ref:           ns.ref[id],
+				depth:         int(ns.depth[id]),
+				cLo:           int(ns.cLo[id]),
+				cHi:           int(ns.cHi[id]),
+				maxScore:      int(ns.maxSc[id]),
+				bestQueryEnd:  int(ns.qEnd[id]),
+				bestPathDepth: int(ns.pDep[id]),
+				f:             r.f,
+			}
+			seed.band = make([]int32, len(ns.band[id]))
+			copy(seed.band, ns.band[id])
+			s.releaseViable(id)
 		}
-		if n.band != nil {
-			seed.band = make([]int, len(n.band))
-			copy(seed.band, n.band)
-		}
+		seed.cost = cost
 		fr.Seeds[shard] = append(fr.Seeds[shard], seed)
 		if seed.f > fr.Bounds[shard] {
 			fr.Bounds[shard] = seed.f
 		}
-		s.recycleNode(n)
+	}
+	prefixCost := func(first byte, second int) int64 {
+		if coster == nil {
+			return 0
+		}
+		return coster.PrefixCost(first, second)
 	}
 
 	// The trunk is at most two levels deep: the root, plus the depth-1 nodes
@@ -133,15 +182,15 @@ func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigne
 	// stacked node with its (single-symbol) path so children know their
 	// prefix; -1 marks the root.
 	type trunkNode struct {
-		n     *searchNode
+		id    int32
 		first int
 	}
-	stack := []trunkNode{{n: root, first: -1}}
+	stack := []trunkNode{{id: rootID, first: -1}}
 	for len(stack) > 0 {
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		st.NodesExpanded++
-		err := s.idx.VisitChildren(t.n.ref, t.n.depth, func(child NodeRef, label EdgeLabel) error {
+		err := s.idx.VisitChildren(s.nodes.ref[t.id], int(s.nodes.depth[t.id]), func(child NodeRef, label EdgeLabel) error {
 			// Read the routing symbols before expand consumes the label
 			// (Symbols invalidates previously returned slices).
 			head, err := label.Symbols(0, min(2, label.Len()))
@@ -152,36 +201,36 @@ func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigne
 			if len(head) > 1 {
 				second = int(head[1])
 			}
-			cn, err := s.expand(t.n, child, label)
-			if err != nil || cn == nil {
+			r, err := s.expand(t.id, child, label)
+			if err != nil || !r.ok {
 				return err
 			}
 			switch {
 			case t.first >= 0:
 				// Child of a split depth-1 node: prefix (t.first, first).
-				addSeed(assign.Owner(byte(t.first), byte(first)), cn)
+				addSeed(assign.Owner(byte(t.first), byte(first)), r, prefixCost(byte(t.first), first))
 			case first == int(seq.Terminator):
 				// A whole-terminator subtree cannot be viable (expand stops
-				// at the terminator with maxScore 0 < MinScore), so cn being
-				// non-nil here would mean a malformed index; route it
+				// at the terminator with maxScore 0 < MinScore), so r being
+				// ok here would mean a malformed index; route it
 				// defensively rather than lose it.
-				addSeed(-1, cn)
+				addSeed(-1, r, prefixCost(byte(first), -1))
 			case !assign.Split(byte(first)):
-				addSeed(assign.Owner(byte(first), 0), cn)
+				addSeed(assign.Owner(byte(first), 0), r, prefixCost(byte(first), -1))
 			case second >= 0:
 				// The edge itself carries the second symbol: every suffix in
 				// this subtree shares the two-symbol prefix.
-				addSeed(assign.Owner(byte(first), byte(second)), cn)
-			case cn.tag != tagViable:
+				addSeed(assign.Owner(byte(first), byte(second)), r, prefixCost(byte(first), second))
+			case r.accepted:
 				// A single-symbol edge to an accepted node: nothing below it
 				// is ever expanded, so ownership by second symbol is moot.
-				addSeed(-1, cn)
+				addSeed(-1, r, prefixCost(byte(first), -1))
 			default:
-				stack = append(stack, trunkNode{n: cn, first: first})
+				stack = append(stack, trunkNode{id: r.id, first: first})
 			}
 			return nil
 		})
-		s.recycleNode(t.n)
+		s.releaseViable(t.id)
 		if err != nil {
 			return nil, err
 		}
@@ -190,25 +239,31 @@ func ExpandFrontier(idx Index, query []byte, opts Options, assign SubtreeAssigne
 	return fr, nil
 }
 
-// nodeFromSeed rebuilds a search node from a frontier seed, copying the band
-// into searcher-owned storage.
-func (s *searcher) nodeFromSeed(seed *Seed) *searchNode {
-	n := s.allocNode()
-	n.ref = seed.ref
-	n.depth = seed.depth
-	n.maxScore = seed.maxScore
-	n.bestQueryEnd = seed.bestQueryEnd
-	n.bestPathDepth = seed.bestPathDepth
-	n.f = seed.f
+// pushSeed rebuilds a search node from a frontier seed (copying the band
+// into searcher-owned storage) and pushes it onto the priority queue.
+func (s *searcher) pushSeed(seed *Seed) {
 	if seed.accepted {
-		n.tag = tagAccepted
-		return n
+		id := s.acc.alloc()
+		s.acc.ref[id] = seed.ref
+		s.acc.score[id] = int32(seed.maxScore)
+		s.acc.qEnd[id] = int32(seed.bestQueryEnd)
+		s.acc.pDep[id] = int32(seed.bestPathDepth)
+		s.push(seed.f, true, id)
+		return
 	}
-	n.tag = tagViable
-	n.cLo, n.cHi = seed.cLo, seed.cHi
-	n.band = s.allocBand(len(seed.band))
-	copy(n.band, seed.band)
-	return n
+	ns := s.nodes
+	id := ns.alloc()
+	ns.ref[id] = seed.ref
+	ns.depth[id] = int32(seed.depth)
+	ns.cLo[id] = int32(seed.cLo)
+	ns.cHi[id] = int32(seed.cHi)
+	ns.maxSc[id] = int32(seed.maxScore)
+	ns.qEnd[id] = int32(seed.bestQueryEnd)
+	ns.pDep[id] = int32(seed.bestPathDepth)
+	band := s.allocBand(len(seed.band))
+	copy(band, seed.band)
+	ns.band[id] = band
+	s.push(seed.f, false, id)
 }
 
 // SearchSeedsStream runs the OASIS best-first search over the subtrees in
@@ -224,7 +279,29 @@ func SearchSeedsStream(idx Index, query []byte, opts Options, seeds []Seed, repo
 	defer s.release()
 	s.frontier = frontier
 	for i := range seeds {
-		s.push(s.nodeFromSeed(&seeds[i]))
+		s.pushSeed(&seeds[i])
 	}
+	return s.run(report)
+}
+
+// SearchSeedsDynamic is SearchSeedsStream pulling its seeds on demand: before
+// every queue pop, claim is offered the current best queue bound (the top
+// entry's f, or score.NegInf when the queue is empty) and may hand back one
+// more seed to push; the search proceeds once it returns nil and finishes
+// when both the queue and the claim source are exhausted.  Work stealing
+// between prefix shards is built on this (internal/shard): a shared pool
+// serves each worker its own shard's seeds in decreasing-f order and lets
+// idle workers claim seeds stranded on busy shards.
+//
+// claim is called from the searching goroutine; it may block but must not
+// call back into this search.
+func SearchSeedsDynamic(idx Index, query []byte, opts Options, claim func(topF int) *Seed, report func(Hit) bool, frontier func(bound int) bool) error {
+	s, err := newSearcher(idx, query, opts)
+	if err != nil {
+		return err
+	}
+	defer s.release()
+	s.frontier = frontier
+	s.claim = claim
 	return s.run(report)
 }

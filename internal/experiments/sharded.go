@@ -27,6 +27,10 @@ type ShardedRow struct {
 	// ColumnsExpanded / CellsComputed are summed across shards and queries.
 	ColumnsExpanded int64
 	CellsComputed   int64
+	// Steals counts seeds migrated between prefix shards by the work
+	// stealer across the workload (always 0 in sequence mode or with
+	// stealing disabled).
+	Steals int64
 	// Speedup is the 1-shard QueryTime divided by this row's.
 	Speedup float64
 }
@@ -44,9 +48,11 @@ var shardedModes = []struct {
 // in both partition modes and reports throughput and work counters.  The
 // first row (sequence mode at the first shard count — run with 1 first for a
 // meaningful baseline) anchors the speedup column.  workers <= 0 means one
-// worker per shard.  Every row must report the same hit total; a mismatch is
-// an error because sharding must never change results.
-func Sharded(lab *Lab, shardCounts []int, workers int) ([]ShardedRow, error) {
+// worker per shard.  noSteal disables work stealing between prefix shards
+// (the scheduling ablation; sequence mode never steals).  Every row must
+// report the same hit total; a mismatch is an error because sharding must
+// never change results.
+func Sharded(lab *Lab, shardCounts []int, workers int, noSteal bool) ([]ShardedRow, error) {
 	if len(shardCounts) == 0 {
 		shardCounts = []int{1, 2, 4, 8}
 	}
@@ -58,7 +64,7 @@ func Sharded(lab *Lab, shardCounts []int, workers int) ([]ShardedRow, error) {
 				// identical to sequence mode at 1 shard; skip the duplicate.
 				continue
 			}
-			engine, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers, Partition: pm.mode})
+			engine, err := shard.NewEngine(lab.DB, shard.Options{Shards: n, Workers: workers, Partition: pm.mode, NoSteal: noSteal})
 			if err != nil {
 				return nil, err
 			}
@@ -86,6 +92,7 @@ func Sharded(lab *Lab, shardCounts []int, workers int) ([]ShardedRow, error) {
 				Hits:            hits,
 				ColumnsExpanded: st.ColumnsExpanded,
 				CellsComputed:   st.CellsComputed,
+				Steals:          engine.Steals(),
 			}
 			if len(rows) > 0 {
 				if row.Hits != rows[0].Hits {
@@ -140,11 +147,11 @@ func CheckPrefixColumns(rows []ShardedRow, budget float64) error {
 // RenderSharded writes the scale-out experiment as a text table.
 func RenderSharded(w io.Writer, rows []ShardedRow) {
 	fmt.Fprintln(w, "Sharded scale-out — mean query time vs shard count and partition mode (order-preserving merge)")
-	fmt.Fprintf(w, "%-10s %-8s %-8s %-14s %-10s %-16s %-16s %-8s\n",
-		"mode", "shards", "workers", "time/query", "hits", "columns", "cells", "speedup")
+	fmt.Fprintf(w, "%-10s %-8s %-8s %-14s %-10s %-16s %-16s %-8s %-8s\n",
+		"mode", "shards", "workers", "time/query", "hits", "columns", "cells", "steals", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %-8d %-8d %-14s %-10d %-16d %-16d %-8.2f\n",
-			r.Mode, r.Shards, r.Workers, fmtDur(r.QueryTime), r.Hits, r.ColumnsExpanded, r.CellsComputed, r.Speedup)
+		fmt.Fprintf(w, "%-10s %-8d %-8d %-14s %-10d %-16d %-16d %-8d %-8.2f\n",
+			r.Mode, r.Shards, r.Workers, fmtDur(r.QueryTime), r.Hits, r.ColumnsExpanded, r.CellsComputed, r.Steals, r.Speedup)
 	}
 	fmt.Fprintln(w)
 }
@@ -154,6 +161,11 @@ func RenderSharded(w io.Writer, rows []ShardedRow) {
 type LiveBandRow struct {
 	// BandTime / FullTime are mean per-query times with the band on/off.
 	BandTime, FullTime time.Duration
+	// RefTime is the mean per-query time of the scalar reference kernel
+	// (core.Options.ReferenceKernel): the banded sweep without the SoA
+	// branch-free inner loop, so RefTime/BandTime isolates the kernel
+	// speedup from the band's cell savings.
+	RefTime time.Duration
 	// BandCells / FullCells are total cells computed across the workload.
 	BandCells, FullCells int64
 	// Columns is the total columns expanded (identical in both modes: the
@@ -195,6 +207,17 @@ func LiveBand(lab *Lab) (LiveBandRow, error) {
 		}
 		row.FullTime += time.Since(start)
 
+		var refStats core.Stats
+		start = time.Now()
+		ref, err := core.SearchAll(lab.Mem, q.Residues, core.Options{
+			Scheme: lab.Scheme, MinScore: minScore, Stats: &refStats,
+			ReferenceKernel: true,
+		})
+		if err != nil {
+			return row, err
+		}
+		row.RefTime += time.Since(start)
+
 		if len(band) != len(fullSweep) {
 			return row, fmt.Errorf("experiments: live band changed the hit count for %s: %d vs %d",
 				q.ID, len(band), len(fullSweep))
@@ -203,6 +226,19 @@ func LiveBand(lab *Lab) (LiveBandRow, error) {
 			if band[i] != fullSweep[i] {
 				return row, fmt.Errorf("experiments: live band changed hit %d for %s", i, q.ID)
 			}
+		}
+		if len(ref) != len(band) {
+			return row, fmt.Errorf("experiments: reference kernel changed the hit count for %s: %d vs %d",
+				q.ID, len(ref), len(band))
+		}
+		for i := range ref {
+			if ref[i] != band[i] {
+				return row, fmt.Errorf("experiments: reference kernel changed hit %d for %s", i, q.ID)
+			}
+		}
+		if refStats.CellsComputed != bandStats.CellsComputed || refStats.ColumnsExpanded != bandStats.ColumnsExpanded {
+			return row, fmt.Errorf("experiments: reference kernel work diverged for %s: %d cells/%d columns vs %d/%d",
+				q.ID, refStats.CellsComputed, refStats.ColumnsExpanded, bandStats.CellsComputed, bandStats.ColumnsExpanded)
 		}
 		row.Hits += int64(len(band))
 		row.BandCells += bandStats.CellsComputed
@@ -213,6 +249,7 @@ func LiveBand(lab *Lab) (LiveBandRow, error) {
 	if n > 0 {
 		row.BandTime /= n
 		row.FullTime /= n
+		row.RefTime /= n
 	}
 	if row.FullCells > 0 {
 		row.CellFraction = float64(row.BandCells) / float64(row.FullCells)
@@ -223,11 +260,51 @@ func LiveBand(lab *Lab) (LiveBandRow, error) {
 // RenderLiveBand writes the live-band ablation as a text table.
 func RenderLiveBand(w io.Writer, row LiveBandRow) {
 	fmt.Fprintln(w, "Live-band DP kernel — cells computed vs the exhaustive sweep (identical hits)")
-	fmt.Fprintf(w, "%-14s %-14s %-16s %-16s %-10s %-8s\n",
-		"band t/query", "full t/query", "band cells", "full cells", "fraction", "hits")
-	fmt.Fprintf(w, "%-14s %-14s %-16d %-16d %-10.4f %-8d\n",
-		fmtDur(row.BandTime), fmtDur(row.FullTime), row.BandCells, row.FullCells, row.CellFraction, row.Hits)
+	fmt.Fprintf(w, "%-14s %-14s %-14s %-16s %-16s %-10s %-8s\n",
+		"band t/query", "ref t/query", "full t/query", "band cells", "full cells", "fraction", "hits")
+	fmt.Fprintf(w, "%-14s %-14s %-14s %-16d %-16d %-10.4f %-8d\n",
+		fmtDur(row.BandTime), fmtDur(row.RefTime), fmtDur(row.FullTime),
+		row.BandCells, row.FullCells, row.CellFraction, row.Hits)
 	fmt.Fprintln(w)
+}
+
+// ReadBenchJSON loads a benchmark report previously written by
+// WriteBenchJSON (the checked-in BENCH_oasis.json trajectory file).
+func ReadBenchJSON(path string) (BenchReport, error) {
+	var report BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		return report, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	return report, nil
+}
+
+// CheckBandGate is the kernel regression gate: it compares the measured
+// live-band time per query against the liveband/band record in the baseline
+// report and fails when the current time exceeds budget (a ratio, e.g. 1.10
+// for CI's 10% tolerance) times the recorded ns/op.  The measurement is
+// single-threaded (one query at a time, no worker pool), so the comparison
+// is meaningful across GOMAXPROCS values; the baseline's stamp is reported
+// in the error for context anyway.
+func CheckBandGate(row LiveBandRow, baselinePath string, budget float64) error {
+	report, err := ReadBenchJSON(baselinePath)
+	if err != nil {
+		return err
+	}
+	for _, rec := range report.Records {
+		if rec.Name != "liveband/band" {
+			continue
+		}
+		if got := float64(row.BandTime); got > budget*rec.NsPerOp {
+			return fmt.Errorf("experiments: live-band kernel regressed: %.0f ns/op, over %.2fx the recorded %.0f ns/op (%s, gomaxprocs %d)",
+				got, budget, rec.NsPerOp, baselinePath, rec.GoMaxProcs)
+		}
+		return nil
+	}
+	return fmt.Errorf("experiments: no liveband/band record in %s to gate against", baselinePath)
 }
 
 // BenchRecord is one entry of the machine-readable benchmark trajectory file
@@ -242,6 +319,8 @@ type BenchRecord struct {
 	//	                           shards (shared index; columns should stay
 	//	                           ~flat vs the 1-shard baseline)
 	//	liveband/band              banded DP kernel on the Figure-4 workload
+	//	liveband/ref-kernel        scalar reference kernel ablation (same
+	//	                           band, per-cell guarded sweep)
 	//	liveband/full-sweep        exhaustive-sweep ablation of the same
 	//	batch/...                  warm batch engine vs per-query setup
 	Name string `json:"name"`

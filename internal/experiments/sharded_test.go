@@ -11,7 +11,7 @@ import (
 
 func TestShardedExperiment(t *testing.T) {
 	lab := newTinyLab(t)
-	rows, err := Sharded(lab, []int{1, 2, 4}, 0)
+	rows, err := Sharded(lab, []int{1, 2, 4}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,6 +27,9 @@ func TestShardedExperiment(t *testing.T) {
 		}
 		if r.QueryTime <= 0 || r.ColumnsExpanded <= 0 || r.CellsComputed <= 0 {
 			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+		if r.Mode == "sequence" && r.Steals != 0 {
+			t.Fatalf("row %d: sequence mode counted %d steals", i, r.Steals)
 		}
 		if r.Mode == "prefix" {
 			nPrefix++
@@ -74,10 +77,42 @@ func TestLiveBandExperiment(t *testing.T) {
 	if row.CellFraction <= 0 || row.CellFraction > 1 {
 		t.Fatalf("cell fraction out of range: %v", row.CellFraction)
 	}
+	if row.RefTime <= 0 {
+		t.Fatalf("reference-kernel ablation not measured: %+v", row)
+	}
 	var buf bytes.Buffer
 	RenderLiveBand(&buf, row)
 	if !strings.Contains(buf.String(), "fraction") {
 		t.Fatal("render output missing header")
+	}
+}
+
+func TestCheckBandGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	report := BenchReport{
+		Residues: 1000, NumQueries: 3, GoMaxProcs: 1,
+		Records: []BenchRecord{{Name: "liveband/band", NsPerOp: 1e6}},
+	}
+	if err := WriteBenchJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	within := LiveBandRow{BandTime: 1_050_000} // 1.05x the baseline
+	if err := CheckBandGate(within, path, 1.10); err != nil {
+		t.Fatalf("gate failed inside the budget: %v", err)
+	}
+	over := LiveBandRow{BandTime: 1_200_000} // 1.20x
+	if err := CheckBandGate(over, path, 1.10); err == nil {
+		t.Fatal("gate passed a 20% regression at a 1.10 budget")
+	}
+	empty := BenchReport{Records: []BenchRecord{{Name: "fig3/oasis-mem", NsPerOp: 1}}}
+	if err := WriteBenchJSON(path, empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBandGate(within, path, 1.10); err == nil {
+		t.Fatal("gate passed vacuously without a liveband/band record")
+	}
+	if err := CheckBandGate(within, filepath.Join(t.TempDir(), "missing.json"), 1.10); err == nil {
+		t.Fatal("gate passed with a missing baseline file")
 	}
 }
 

@@ -28,6 +28,9 @@ type DiskOptions struct {
 	// reopens the mutable layer itself so writes can continue; every other
 	// consumer leaves it false and gets the manifest's full live corpus.
 	BaseOnly bool
+	// NoSteal disables work stealing between prefix shards, as in
+	// Options.NoSteal.
+	NoSteal bool
 }
 
 // OpenDiskEngine opens a sharded on-disk index directory (written by
@@ -77,7 +80,7 @@ func OpenDiskEngine(dir string, opts DiskOptions) (*Engine, error) {
 			set.Globals = append(set.Globals, disk.Manifest.GlobalIndex[i])
 		}
 	}
-	e, err := NewEngineFromSet(set, Options{Workers: opts.Workers})
+	e, err := NewEngineFromSet(set, Options{Workers: opts.Workers, NoSteal: opts.NoSteal})
 	if err != nil {
 		disk.Close()
 		return nil, err

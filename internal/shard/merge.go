@@ -287,9 +287,10 @@ type shardHit struct {
 // hitQueue is a max-heap of hits ordered by score (ties: lower global
 // sequence index first, so simultaneous buffered ties release
 // deterministically; equal sequence — duplicate copies from prefix-mode
-// shards — by producing shard, so which copy survives deduplication is a
-// layout property, not an arrival-order race, and the surviving alignment
-// endpoint is reproducible run to run).
+// shards — by alignment content rather than producing shard, because with
+// work stealing the producing shard is a timing artifact (steal.go).  The
+// survivor is then determined by the copy SET in the heap; the set itself can
+// still vary with stealing — see steal.go for the exact guarantee).
 type hitQueue struct {
 	hits []shardHit
 }
@@ -301,6 +302,12 @@ func (q *hitQueue) Less(i, j int) bool {
 	}
 	if q.hits[i].SeqIndex != q.hits[j].SeqIndex {
 		return q.hits[i].SeqIndex < q.hits[j].SeqIndex
+	}
+	if q.hits[i].TargetEnd != q.hits[j].TargetEnd {
+		return q.hits[i].TargetEnd < q.hits[j].TargetEnd
+	}
+	if q.hits[i].QueryEnd != q.hits[j].QueryEnd {
+		return q.hits[i].QueryEnd < q.hits[j].QueryEnd
 	}
 	return q.hits[i].shard < q.hits[j].shard
 }

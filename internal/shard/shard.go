@@ -25,13 +25,17 @@
 // decreasing-score property end to end while keeping first-hit latency low:
 // no shard has to finish before the strongest hits start flowing.
 //
-// The merged stream is reproducible run to run: equal-score ties are
-// released only after every shard that could still produce that score has
-// moved past it, in ascending global sequence index — so even a top-k
-// truncation (MaxResults) cuts the stream at the same hits every time.  (Tie
-// ORDER may still differ from the single-index search, which breaks ties by
-// subtree discovery; the hit multiset — same sequences, same scores — is
-// identical in all configurations.)
+// The merged (sequence, score, rank, E-value) stream is reproducible run to
+// run: equal-score ties are released only after every shard that could still
+// produce that score has moved past it, in ascending global sequence index —
+// so even a top-k truncation (MaxResults) cuts the stream at the same hits
+// every time.  (Tie ORDER may still differ from the single-index search,
+// which breaks ties by subtree discovery; the hit multiset — same sequences,
+// same scores — is identical in all configurations.)  Alignment ENDPOINTS are
+// byte-stable too, except in prefix mode with work stealing enabled, where a
+// sequence holding several co-optimal alignments may report a different
+// member of the tie set from one run to the next (steal.go); Options.NoSteal
+// restores byte-identical streams.
 package shard
 
 import (
@@ -72,6 +76,10 @@ type Options struct {
 	// Partition selects the work-partitioning strategy (default
 	// PartitionBySequence).
 	Partition PartitionMode
+	// NoSteal disables work stealing between prefix shards (see steal.go):
+	// each shard then searches exactly its static LPT seed batch, as before.
+	// Only meaningful in PartitionByPrefix mode with more than one shard.
+	NoSteal bool
 }
 
 // The prefix partitioner must satisfy the core assigner contract.
@@ -117,6 +125,14 @@ type Engine struct {
 	// recycles the merger's emitted-sequence sets (prefix mode only).
 	scratch *bufferpool.FreeList[*core.Scratch]
 	dedups  *bufferpool.FreeList[*dedupSet]
+	// affine[s] parks the scratch shard s's worker used last, so a warm
+	// engine re-serves a shard with buffers already sized to its workload
+	// (band free lists, node stores) before falling back to the shared pool.
+	affine []atomic.Pointer[core.Scratch]
+	// nosteal disables prefix-shard work stealing; steals counts seeds
+	// claimed by a non-owner shard over the engine's lifetime.
+	nosteal bool
+	steals  atomic.Int64
 	// queued/active count, per shard, searches waiting for a worker slot and
 	// searches running (see QueueDepths).
 	queued []atomic.Int64
@@ -285,6 +301,8 @@ func NewEngineFromSet(set IndexSet, opts Options) (*Engine, error) {
 	// mode).
 	e.scratch = bufferpool.NewFreeList(4*(e.nShards+1), core.NewScratch)
 	e.dedups = bufferpool.NewFreeList(8, func() *dedupSet { return &dedupSet{} })
+	e.affine = make([]atomic.Pointer[core.Scratch], e.nShards)
+	e.nosteal = opts.NoSteal
 	e.queued = make([]atomic.Int64, e.nShards)
 	e.active = make([]atomic.Int64, e.nShards)
 	return e, nil
@@ -341,6 +359,11 @@ func (e *Engine) Standing() []core.ShardError { return e.standing }
 // Quarantines returns how many shards have been quarantined mid-query over
 // the engine's lifetime (each degraded query counts its failed shards).
 func (e *Engine) Quarantines() int64 { return e.quarantines.Load() }
+
+// Steals returns how many frontier seeds have been claimed by a non-owner
+// shard over the engine's lifetime (prefix-mode work stealing; 0 with
+// stealing disabled or in sequence mode).
+func (e *Engine) Steals() int64 { return e.steals.Load() }
 
 // NumShards returns the number of work partitions.
 func (e *Engine) NumShards() int { return e.nShards }
@@ -639,6 +662,20 @@ func (e *Engine) searchPrefix(query []byte, opts core.Options, report func(core.
 	dedup := e.dedups.Get()
 	dedup.acquire(e.numSeqs)
 	defer e.dedups.Put(dedup)
+	if !e.nosteal {
+		// Work stealing: seeds are claimed from a shared pool on demand
+		// (steal.go) instead of searched as static batches, so a skewed query
+		// cannot strand workers on drained shards.  All merger bounds start at
+		// the global max seed f — any shard may claim the hottest seed.
+		pool := newStealPool(fr.Seeds)
+		defer func() { e.steals.Add(pool.stealCount()) }()
+		return e.fanOutMerge(query, opts, stealBounds(fr.Bounds), dedup, fr.Stats, nil, report,
+			func(int) bool { return pool.empty() }, bsink,
+			func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
+				shardOpts.MaxResults = 0
+				return core.SearchSeedsDynamic(e.views[s], query, shardOpts, claimFunc(pool, s), hit, frontier)
+			})
+	}
 	return e.fanOutMerge(query, opts, fr.Bounds, dedup, fr.Stats, nil, report,
 		func(s int) bool { return len(fr.Seeds[s]) == 0 }, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
@@ -674,7 +711,14 @@ func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSe
 		return err
 	}
 	rb := e.rootBound(query, opts)
-	bounds := append(append(make([]int, 0, e.nShards+len(ext.Shards)), fr.Bounds...), make([]int, len(ext.Shards))...)
+	baseBounds := fr.Bounds
+	var pool *stealPool
+	if !e.nosteal {
+		pool = newStealPool(fr.Seeds)
+		defer func() { e.steals.Add(pool.stealCount()) }()
+		baseBounds = stealBounds(fr.Bounds)
+	}
+	bounds := append(append(make([]int, 0, e.nShards+len(ext.Shards)), baseBounds...), make([]int, len(ext.Shards))...)
 	for s := e.nShards; s < len(bounds); s++ {
 		bounds[s] = rb
 	}
@@ -685,11 +729,17 @@ func (e *Engine) searchPrefixExtra(query []byte, opts core.Options, ext *ExtraSe
 	dedup := e.dedups.Get()
 	dedup.acquire(n)
 	defer e.dedups.Put(dedup)
-	return e.fanOutMerge(query, opts, bounds, dedup, fr.Stats, ext, report,
-		func(s int) bool { return s < e.nShards && len(fr.Seeds[s]) == 0 }, bsink,
+	idle := func(s int) bool { return s < e.nShards && len(fr.Seeds[s]) == 0 }
+	if pool != nil {
+		idle = func(s int) bool { return s < e.nShards && pool.empty() }
+	}
+	return e.fanOutMerge(query, opts, bounds, dedup, fr.Stats, ext, report, idle, bsink,
 		func(s int, shardOpts core.Options, hit func(core.Hit) bool, frontier func(int) bool) error {
 			shardOpts.MaxResults = 0
 			if s < e.nShards {
+				if pool != nil {
+					return core.SearchSeedsDynamic(e.views[s], query, shardOpts, claimFunc(pool, s), hit, frontier)
+				}
 				return core.SearchSeedsStream(e.views[s], query, shardOpts, fr.Seeds[s], hit, frontier)
 			}
 			x := ext.Shards[s-e.nShards]
@@ -796,12 +846,24 @@ func (e *Engine) runShardStream(s int, opts core.Options, events chan<- event, c
 	// E-values depend on the global database size; they are attached by the
 	// merger, not the shard.
 	shardOpts.KA = nil
-	// Each shard search gets its own pooled scratch (a Scratch serves one
-	// search at a time); the caller's Scratch cannot be shared by the
-	// concurrent shard goroutines.
-	sc := e.scratch.Get()
+	// Each shard search gets its own scratch (a Scratch serves one search at
+	// a time); the caller's Scratch cannot be shared by the concurrent shard
+	// goroutines.  The shard-affine slot is tried first — its buffers were
+	// sized by this very shard's last search — then the shared pool.
+	var sc *core.Scratch
+	if s < len(e.affine) {
+		sc = e.affine[s].Swap(nil)
+	}
+	if sc == nil {
+		sc = e.scratch.Get()
+	}
 	shardOpts.Scratch = sc
-	defer e.scratch.Put(sc)
+	defer func() {
+		if s < len(e.affine) && e.affine[s].CompareAndSwap(nil, sc) {
+			return
+		}
+		e.scratch.Put(sc)
+	}()
 	lastBound := int(^uint(0) >> 1) // MaxInt
 	err := search(s, shardOpts,
 		func(h core.Hit) bool {

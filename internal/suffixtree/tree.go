@@ -131,6 +131,23 @@ func (t *Tree) PathLabel(n NodeID) []byte {
 	return out
 }
 
+// VisitEdges iterates the children of n in sibling order, calling fn with
+// each child's id, incoming edge label and suffix start (-1 for internal
+// children, >= 0 exactly for leaves).  Unlike chaining the FirstChild /
+// NextSibling / IsLeaf / EdgeLabel / SuffixStart accessors it fetches each
+// child's node record once, which matters to traversals that touch millions
+// of (randomly laid out) children.  Iteration stops when fn returns false.
+func (t *Tree) VisitEdges(n NodeID, fn func(child NodeID, label []byte, suffixStart int64) bool) {
+	c := t.nodes[n].firstChild
+	for c != NoNode {
+		nd := &t.nodes[c]
+		if !fn(c, t.text[nd.start:nd.end], nd.suffixStart) {
+			return
+		}
+		c = nd.nextSibling
+	}
+}
+
 // LeafPositions calls fn with the suffix start position of every leaf in the
 // subtree rooted at n, in depth-first order.  Iteration stops early when fn
 // returns false.  The traversal follows the first-child/next-sibling links
@@ -335,6 +352,53 @@ func (t *Tree) sortChildren() {
 			}
 		}
 	}
+	t.relayout()
+}
+
+// relayout renumbers the nodes so every sibling family occupies consecutive
+// ids, in depth-first family order.  Construction order (Ukkonen's in
+// particular) scatters siblings across the node array, which turns every
+// child-list walk into a chain of random fetches; after relayout VisitEdges
+// and the child scans of the OASIS search walk sequential memory.  The
+// renumbering is fully determined by the (already sorted) tree structure, so
+// the two builders still produce identical trees.
+func (t *Tree) relayout() {
+	n := len(t.nodes)
+	newID := make([]NodeID, n)    // old id -> new id
+	order := make([]NodeID, 1, n) // new id -> old id; root keeps id 0
+	stack := make([]NodeID, 0, 64)
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		old := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		firstNew := len(order)
+		for c := t.nodes[old].firstChild; c != NoNode; c = t.nodes[c].nextSibling {
+			newID[c] = NodeID(len(order))
+			order = append(order, c)
+		}
+		// Visit the first child's family next: push internal children in
+		// reverse sibling order.
+		for i := len(order) - 1; i >= firstNew; i-- {
+			if t.nodes[order[i]].firstChild != NoNode {
+				stack = append(stack, order[i])
+			}
+		}
+	}
+	nodes := make([]node, n)
+	for newI, oldI := range order {
+		nd := t.nodes[oldI]
+		if nd.parent != NoNode {
+			nd.parent = newID[nd.parent]
+		}
+		if nd.firstChild != NoNode {
+			nd.firstChild = newID[nd.firstChild]
+		}
+		if nd.nextSibling != NoNode {
+			nd.nextSibling = newID[nd.nextSibling]
+		}
+		nodes[newI] = nd
+	}
+	t.nodes = nodes
 }
 
 // Stats describes the size and shape of a tree.

@@ -35,6 +35,12 @@ type ShardOptions struct {
 	// identical in both modes; alignment endpoints of equal-score ties may
 	// differ.
 	PartitionByPrefix bool
+	// NoSteal disables work stealing between prefix shards.  Stealing keeps
+	// the merged (sequence, score, rank) stream identical but lets the
+	// surviving alignment endpoints of equal-score ties vary run to run;
+	// disable it when byte-stable endpoint reproducibility matters more
+	// than tail latency.  Ignored in sequence mode (which never steals).
+	NoSteal bool
 }
 
 // ShardedIndex is a sharded parallel OASIS engine: one suffix-tree index
@@ -75,6 +81,7 @@ func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
 		engine, err := shard.OpenDiskEngine(opts.IndexDir, shard.DiskOptions{
 			Workers:           opts.Workers,
 			PoolBytesPerShard: opts.PoolBytes,
+			NoSteal:           opts.NoSteal,
 		})
 		if err != nil {
 			return nil, err
@@ -89,6 +96,7 @@ func NewShardedIndex(db *Database, opts ShardOptions) (*ShardedIndex, error) {
 		Shards:    opts.Shards,
 		Workers:   opts.Workers,
 		Partition: mode,
+		NoSteal:   opts.NoSteal,
 	})
 	if err != nil {
 		return nil, err
