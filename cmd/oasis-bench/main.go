@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/experiments"
 	"repro/internal/seq"
 )
@@ -54,8 +55,24 @@ func main() {
 			"fail -exp liveband when the band kernel's ns/op exceeds this ratio of the recorded baseline (0 = no check; CI uses 1.10)")
 		bandBaseline = flag.String("band-baseline", "BENCH_oasis.json",
 			"baseline benchmark report the -band-gate check compares against")
+		escapeGate = flag.Bool("escape-gate", false,
+			"recompile internal/core with -gcflags='-m -d=ssa/check_bce/debug=1' and fail if a //oasis:hotpath function gained a heap escape or bounds check not in -escape-allowlist")
+		escapeWrite = flag.Bool("escape-write", false,
+			"with -escape-gate: rewrite the allowlist to the current diagnostics instead of failing")
+		escapeAllowlist = flag.String("escape-allowlist", "internal/analysis/testdata/escape_allowlist.txt",
+			"escape-gate baseline file (relative to the module root)")
 	)
 	flag.Parse()
+
+	if *escapeGate {
+		if err := runEscapeGate(*escapeAllowlist, *escapeWrite); err != nil {
+			fmt.Fprintln(os.Stderr, "oasis-bench:", err)
+			os.Exit(1)
+		}
+		if *exps == "none" {
+			return
+		}
+	}
 
 	cfg := experiments.Config{
 		TotalResidues:   *residues,
@@ -82,6 +99,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oasis-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runEscapeGate runs the compiler-output escape gate over internal/core: the
+// hotpathalloc analyzer checks what the source says, this checks what the
+// compiler actually decided.  With write=true the baseline is regenerated
+// instead of enforced.
+func runEscapeGate(allowlist string, write bool) error {
+	const (
+		importPath = "repro/internal/core"
+		pkgDir     = "internal/core"
+	)
+	if write {
+		diags, err := analysis.CollectEscapeDiags(".", importPath, pkgDir)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(allowlist, []byte(analysis.FormatAllowlist(diags)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("escape-gate: wrote %d baseline entries to %s\n", len(diags), allowlist)
+		return nil
+	}
+	res, err := analysis.RunEscapeGate(".", importPath, pkgDir, allowlist)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.New {
+		fmt.Fprintf(os.Stderr, "escape-gate: NEW: %s (not in %s)\n", d, allowlist)
+	}
+	for _, d := range res.Stale {
+		fmt.Fprintf(os.Stderr, "escape-gate: STALE: %s (in %s but no longer produced; regenerate with -escape-write)\n", d, allowlist)
+	}
+	if !res.OK() {
+		return fmt.Errorf("escape gate failed: %d new, %d stale (baseline %s)", len(res.New), len(res.Stale), allowlist)
+	}
+	fmt.Printf("escape-gate: OK (%d baseline diagnostics in //oasis:hotpath functions)\n", len(res.Current))
+	return nil
 }
 
 func parseShardCounts(s string) ([]int, error) {

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: HTTP handlers,
+// admission queues, and background mutators must all stop with their server.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,144 @@
+// Package analysis is the project's static-invariant suite: a set of
+// go/analysis-style analyzers, written against the standard library only (the
+// container deliberately carries no golang.org/x/tools), that turn the
+// invariants this codebase's performance and correctness rest on — stated
+// until now only in comments — into machine-checked CI failures.
+//
+// The analyzers (run by cmd/oasis-vet over ./...):
+//
+//   - hotpathalloc: functions annotated //oasis:hotpath (the DP kernel sweep,
+//     the scratch/free-list operations, the merger release loop) must contain
+//     no heap-allocating constructs: make/new/append, composite literals
+//     behind &, slice/map/function literals, string<->[]byte conversions,
+//     implicit interface conversions at call sites or assignments, and any
+//     fmt call.  //oasis:allow-alloc <reason> on (or immediately above) the
+//     offending line accepts a justified exception, e.g. amortized arena
+//     growth into buffers reused across queries.
+//
+//   - ctxflow: a function that takes a context.Context must not manufacture
+//     context.Background() or context.TODO() inside its body — that silently
+//     detaches the callee from cancellation and deadlines the caller set.
+//     //oasis:allow-ctx <reason> accepts deliberate detachment.
+//
+//   - cachekey: every result-affecting field of core.Options must be consumed
+//     by qcache.NewKey.  A field missing from both the key and the
+//     analyzer's allowlist (fields that provably do not change which hits a
+//     completed stream contains) means two different searches can share one
+//     cache entry: silently wrong answers.
+//
+//   - faultsite: every faultpoint.Hit/HitBuf site name must be one of the
+//     Site* constants registered in internal/faultpoint, every registered
+//     site must have at least one live call site, and every registered site
+//     must be exercised by a test or CI reference — so failpoints cannot rot
+//     into untested names.
+//
+//   - atomicstate: a struct field accessed through sync/atomic anywhere must
+//     never be read or written plainly elsewhere; mixed access is a data race
+//     the race detector only finds when both sides happen to run.
+//     //oasis:allow-atomic <reason> accepts provably pre-publication access.
+//
+// The package also hosts the escape gate (escape.go): a compiler-output
+// regression check that rebuilds internal/core with -gcflags='-m
+// -d=ssa/check_bce/debug=1' and fails when a heap escape or bounds check
+// appears inside an //oasis:hotpath function that the checked-in allowlist
+// (testdata/escape_allowlist.txt) does not accept.
+//
+// Annotation reference:
+//
+//	//oasis:hotpath                  mark a function for hotpathalloc + the escape gate
+//	//oasis:allow-alloc <reason>     accept one allocating construct in a hotpath
+//	//oasis:allow-ctx <reason>       accept a deliberate context detach
+//	//oasis:allow-atomic <reason>    accept a plain access to atomic state
+//
+// Every allow directive requires a reason; a bare directive is itself a
+// finding.  Run the suite locally with:
+//
+//	go run ./cmd/oasis-vet ./...
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one analyzer finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed, type-checked non-test files.
+	Files []*ast.File
+	// TestSrc maps the package's test file names (internal and external) to
+	// their raw contents.  Test files are not type-checked; analyzers that
+	// need "is this name referenced by a test" (faultsite) scan them
+	// textually.
+	TestSrc map[string][]byte
+	Pkg     *types.Package
+	Info    *types.Info
+	// Dir is the package directory on disk.
+	Dir string
+
+	report func(Diagnostic)
+	dirs   *directiveIndex
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker.  Run is required; Collect (a gathering
+// phase executed over every package before any Run) and Finish (a global
+// reconciliation executed after every Run) are optional and let an analyzer
+// check whole-program invariants (faultsite, atomicstate) while still
+// reporting per-file positions.
+//
+// Analyzers with cross-package state are constructed fresh per suite run (see
+// Analyzers); Run/Collect/Finish closures own that state, so two concurrent
+// suites never share it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Collect gathers facts from one package.  Optional.
+	Collect func(*Pass) error
+	// Run checks one package, reporting findings via Pass.Reportf.
+	Run func(*Pass) error
+	// Finish runs once after every package's Run, for whole-program checks.
+	// Optional.
+	Finish func(report func(Diagnostic)) error
+}
+
+// Analyzers returns a fresh instance of the full suite, in the order
+// cmd/oasis-vet runs them.  Fresh instances matter: faultsite and atomicstate
+// accumulate cross-package facts inside their closures.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewHotPathAlloc(),
+		NewCtxFlow(),
+		NewCacheKey(DefaultCacheKeyConfig()),
+		NewFaultSite(nil),
+		NewAtomicState(),
+	}
+}
+
+// isPkg reports whether obj belongs to the package with the given import
+// path (nil-safe; universe objects have a nil package).
+func isPkg(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

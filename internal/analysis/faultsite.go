@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewFaultSite builds the faultsite analyzer: failpoint hygiene across the
+// whole module.  Three invariants keep the fault-injection story from
+// rotting:
+//
+//  1. Every faultpoint.Hit/HitBuf call names its site through a Site*
+//     constant declared in the faultpoint package — the one registry — never
+//     a raw string or a variable;
+//  2. every registered Site* constant has at least one live call site (a
+//     registered-but-unwired site gives false confidence that a failure mode
+//     is injectable);
+//  3. every registered site is referenced by at least one test or CI file, so
+//     each failpoint is actually exercised somewhere.
+//
+// ciRefs supplies non-Go reference text (CI workflow and script contents,
+// keyed by file name) that counts toward invariant 3; cmd/oasis-vet feeds it
+// .github/workflows/* and ci/*.
+func NewFaultSite(ciRefs map[string]string) *Analyzer {
+	type siteDecl struct {
+		name  string
+		value string
+		pos   token.Position
+	}
+	var (
+		registry  []siteDecl
+		callSites = map[string]int{} // site value -> non-test call-site count
+		testText  []string           // raw test-file contents, module-wide
+	)
+
+	a := &Analyzer{
+		Name: "faultsite",
+		Doc:  "failpoint sites: registry-declared names, live call sites, test/CI coverage",
+	}
+	a.Collect = func(pass *Pass) error {
+		if pass.Pkg.Name() == "faultpoint" {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs := spec.(*ast.ValueSpec)
+						for _, name := range vs.Names {
+							if !strings.HasPrefix(name.Name, "Site") {
+								continue
+							}
+							c, ok := pass.Info.Defs[name].(*types.Const)
+							if !ok || c.Val().Kind() != constant.String {
+								continue
+							}
+							registry = append(registry, siteDecl{
+								name:  name.Name,
+								value: constant.StringVal(c.Val()),
+								pos:   pass.Fset.Position(name.Pos()),
+							})
+						}
+					}
+				}
+			}
+		}
+		for _, src := range pass.TestSrc {
+			testText = append(testText, string(src))
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok || pkgName.Imported().Name() != "faultpoint" {
+					return true
+				}
+				if sel.Sel.Name != "Hit" && sel.Sel.Name != "HitBuf" {
+					return true
+				}
+				arg := call.Args[0]
+				tv := pass.Info.Types[arg]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(arg.Pos(), "site name must be a Site* constant from the faultpoint registry, not a computed value")
+					return true
+				}
+				if !isRegistryConstRef(pass, arg) {
+					pass.Reportf(arg.Pos(), "site %q must be named through its Site* constant in the faultpoint registry, not a raw string", constant.StringVal(tv.Value))
+				}
+				callSites[constant.StringVal(tv.Value)]++
+				return true
+			})
+		}
+		return nil
+	}
+	a.Run = func(pass *Pass) error { return nil }
+	a.Finish = func(report func(Diagnostic)) error {
+		sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+		for _, s := range registry {
+			if callSites[s.value] == 0 {
+				report(Diagnostic{Pos: s.pos, Message: "registered site " + s.name + " (" + s.value + ") has no faultpoint.Hit/HitBuf call site; a failpoint nothing fires is dead"})
+			}
+			if !referenced(s.name, s.value, testText, ciRefs) {
+				report(Diagnostic{Pos: s.pos, Message: "registered site " + s.name + " (" + s.value + ") is not referenced by any test or CI file; an unexercised failpoint rots"})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isRegistryConstRef reports whether expr is a direct reference to a constant
+// declared in the faultpoint package (faultpoint.SiteX from outside, SiteX
+// from inside).
+func isRegistryConstRef(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Name() == "faultpoint" && strings.HasPrefix(c.Name(), "Site")
+}
+
+// referenced reports whether the site's constant name or literal value occurs
+// in any test file or CI reference text.
+func referenced(name, value string, testText []string, ciRefs map[string]string) bool {
+	for _, t := range testText {
+		if strings.Contains(t, name) || strings.Contains(t, value) {
+			return true
+		}
+	}
+	for _, t := range ciRefs {
+		if strings.Contains(t, name) || strings.Contains(t, value) {
+			return true
+		}
+	}
+	return false
+}

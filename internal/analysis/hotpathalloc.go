@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotPathAlloc builds the hotpathalloc analyzer: functions annotated
+// //oasis:hotpath must not contain heap-allocating constructs.  The DP column
+// sweep, the scratch/free-list operations and the merger release loop run
+// millions of times per query; a single heap escape sneaking into one of them
+// silently undoes the allocation-free kernel the SoA refactor bought.
+//
+// Flagged constructs: make, new, append, &CompositeLit, slice/map/function
+// literals, string<->[]byte conversions, implicit concrete-to-interface
+// conversions at call arguments and assignments, and calls into fmt.
+// //oasis:allow-alloc <reason> on or immediately above the line accepts a
+// justified exception (typically amortized growth of an arena reused across
+// queries).
+func NewHotPathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "forbid heap-allocating constructs in //oasis:hotpath functions",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !isHotPath(fn) || fn.Body == nil {
+					continue
+				}
+				(&hotPathCheck{pass: pass, fn: fn}).check()
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type hotPathCheck struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *hotPathCheck) flag(pos token.Pos, format string, args ...any) {
+	if c.pass.allowed(pos, DirAllowAlloc) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *hotPathCheck) check() {
+	name := c.fn.Name.Name
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n, name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.flag(n.Pos(), "%s: &composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			switch c.typeOf(n).(type) {
+			case *types.Slice:
+				c.flag(n.Pos(), "%s: slice literal allocates", name)
+			case *types.Map:
+				c.flag(n.Pos(), "%s: map literal allocates", name)
+			}
+		case *ast.FuncLit:
+			c.flag(n.Pos(), "%s: function literal allocates a closure (and captures escape)", name)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					c.checkIfaceConv(c.typeOf(n.Lhs[i]), rhs, name)
+				}
+			}
+		case *ast.GoStmt:
+			c.flag(n.Pos(), "%s: go statement allocates a goroutine", name)
+		case *ast.DeferStmt:
+			c.flag(n.Pos(), "%s: defer allocates a deferred frame on some paths", name)
+		}
+		return true
+	})
+}
+
+// typeOf returns the underlying type of e (nil-safe).
+func (c *hotPathCheck) typeOf(e ast.Expr) types.Type {
+	t := c.pass.Info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func (c *hotPathCheck) checkCall(call *ast.CallExpr, name string) {
+	// Conversions in any spelling: string(b), []byte(s), pkg.T(x), (T)(x).
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, name)
+		return
+	}
+	// Builtins and fmt calls.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := c.pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "make":
+				c.flag(call.Pos(), "%s: make allocates", name)
+				return
+			case "new":
+				c.flag(call.Pos(), "%s: new allocates", name)
+				return
+			case "append":
+				c.flag(call.Pos(), "%s: append may grow (allocate) its backing array", name)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := c.pass.Info.Uses[id].(*types.PkgName); ok {
+				if pkg.Imported().Path() == "fmt" {
+					c.flag(call.Pos(), "%s: fmt.%s allocates (variadic any boxing and formatting)", name, fun.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	// Interface conversions at call arguments.
+	sig, ok := c.typeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // f(xs...): the slice is passed through, not boxed per element
+			}
+			pt = params.At(params.Len() - 1).Type().Underlying().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		c.checkIfaceConv(pt, arg, name)
+	}
+}
+
+// checkConversion flags string<->[]byte conversions, which copy.
+func (c *hotPathCheck) checkConversion(call *ast.CallExpr, name string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := c.typeOf(call)
+	from := c.typeOf(call.Args[0])
+	if isString(to) && isByteSlice(from) {
+		c.flag(call.Pos(), "%s: string([]byte) conversion copies and allocates", name)
+	}
+	if isByteSlice(to) && isString(from) {
+		c.flag(call.Pos(), "%s: []byte(string) conversion copies and allocates", name)
+	}
+}
+
+// checkIfaceConv flags an implicit concrete-to-interface conversion of expr
+// into target type dst: boxing a non-pointer concrete value allocates.
+func (c *hotPathCheck) checkIfaceConv(dst types.Type, expr ast.Expr, name string) {
+	if dst == nil {
+		return
+	}
+	if !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	src := c.pass.Info.TypeOf(expr)
+	if src == nil || types.IsInterface(src.Underlying()) {
+		return
+	}
+	if _, isPtr := src.Underlying().(*types.Pointer); isPtr {
+		return // boxing a pointer stores the pointer word; no new allocation
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.flag(expr.Pos(), "%s: implicit conversion of %s to interface %s allocates", name, src, dst)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

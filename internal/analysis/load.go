@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	TestSrc map[string][]byte
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Error        *struct{ Err string }
+}
+
+// LoadModule loads and type-checks the packages matched by patterns inside
+// the module rooted at moduleDir, without golang.org/x/tools: package
+// discovery and dependency export data come from `go list -export -deps`,
+// and the standard go/importer consumes that export data directly.  Returned
+// packages are sorted by import path.
+func LoadModule(moduleDir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, f)
+		}
+		testSrc := map[string][]byte{}
+		for _, name := range append(append([]string{}, t.TestGoFiles...), t.XTestGoFiles...) {
+			src, err := os.ReadFile(filepath.Join(t.Dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			testSrc[name] = src
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-check %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:    t.ImportPath,
+			Dir:     t.Dir,
+			Files:   files,
+			TestSrc: testSrc,
+			Pkg:     tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, fset, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// RunSuite executes analyzers over the loaded packages: every Collect phase
+// first, then every Run, then every Finish, returning the findings sorted by
+// position.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.Collect == nil {
+			continue
+		}
+		for _, p := range pkgs {
+			if err := a.Collect(newPass(a, p, fset, report)); err != nil {
+				return nil, fmt.Errorf("%s: collect %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		for _, p := range pkgs {
+			if err := a.Run(newPass(a, p, fset, report)); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		if err := a.Finish(func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}); err != nil {
+			return nil, fmt.Errorf("%s: finish: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+func newPass(a *Analyzer, p *Package, fset *token.FileSet, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    p.Files,
+		TestSrc:  p.TestSrc,
+		Pkg:      p.Pkg,
+		Info:     p.Info,
+		Dir:      p.Dir,
+		report:   report,
+	}
+}

@@ -1,0 +1,15 @@
+// Package core is a miniature of the real internal/core for the cachekey
+// fixture: an Options struct whose result-affecting fields the qcache fixture
+// must consume.
+package core
+
+// Options mirrors the shape of the real search options.
+type Options struct {
+	// Scheme and MinScore are consumed by the fixture qcache.NewKey.
+	Scheme   string
+	MinScore int
+	// Extra is result-affecting but NOT consumed and NOT exempt: a finding.
+	Extra bool
+	// Stats is exempted by the test's CacheKeyConfig.
+	Stats *int
+}

@@ -1,0 +1,29 @@
+// Package ctxflow exercises the ctxflow analyzer: a function that takes a
+// context must not manufacture a fresh root context inside its body.
+package ctxflow
+
+import "context"
+
+func handle(ctx context.Context) error {
+	c := context.Background() // want `detaches the callee`
+	_ = c
+	_ = context.TODO() // want `detaches the callee`
+	return ctx.Err()
+}
+
+// free takes no ctx; manufacturing a root context is its job.
+func free() context.Context {
+	return context.Background()
+}
+
+// allowed detaches deliberately, with a reason.
+func allowed(ctx context.Context) context.Context {
+	//oasis:allow-ctx lifecycle task whose lifetime is the process, not the request
+	return context.Background()
+}
+
+// bare shows that an allow directive without a reason is itself reported.
+func bare(ctx context.Context) context.Context {
+	//oasis:allow-ctx
+	return context.Background() // want `needs a reason`
+}

@@ -1,0 +1,17 @@
+// Package faultpoint is a miniature failpoint registry for the faultsite
+// fixture.
+package faultpoint
+
+const (
+	// SiteUsed has a call site and a test reference: clean.
+	SiteUsed = "pkg.used"
+	// SiteCI has a call site and is referenced only by CI text: clean.
+	SiteCI = "pkg.ci"
+	// SiteUnwired is registered and test-referenced but never hit.
+	SiteUnwired = "pkg.unwired" // want `has no faultpoint.Hit/HitBuf call site`
+	// SiteUntested is hit but never referenced by a test or CI file.
+	SiteUntested = "pkg.untested" // want `not referenced by any test or CI file`
+)
+
+// Hit mimics the real registry's injection probe.
+func Hit(site string) error { _ = site; return nil }

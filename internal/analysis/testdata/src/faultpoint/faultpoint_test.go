@@ -1,0 +1,6 @@
+package faultpoint
+
+// This fixture test file is never compiled; its raw text is what the
+// faultsite analyzer scans for site references.  It exercises SiteUsed and
+// SiteUnwired ("pkg.used", "pkg.unwired") and deliberately omits the fourth
+// registered site, whose name must not appear anywhere in this file.

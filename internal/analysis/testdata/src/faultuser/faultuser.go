@@ -1,0 +1,13 @@
+// Package faultuser calls the fixture failpoint registry in every legal and
+// illegal way the faultsite analyzer distinguishes.
+package faultuser
+
+import "faultpoint"
+
+func work(name string) {
+	_ = faultpoint.Hit(faultpoint.SiteUsed)
+	_ = faultpoint.Hit(faultpoint.SiteCI)
+	_ = faultpoint.Hit(faultpoint.SiteUntested)
+	_ = faultpoint.Hit("pkg.raw") // want `must be named through its Site\* constant`
+	_ = faultpoint.Hit(name)      // want `not a computed value`
+}

@@ -1,0 +1,64 @@
+// Package hotalloc exercises the hotpathalloc analyzer: every allocating
+// construct inside a //oasis:hotpath function is flagged; unannotated
+// functions and justified //oasis:allow-alloc lines are not.
+package hotalloc
+
+import "fmt"
+
+type sink interface{ m() }
+
+type val struct{ x int }
+
+func (v val) m() {}
+
+func take(s sink) {}
+
+var global []int
+
+// grow is hot: every allocating construct below must be flagged.
+//
+//oasis:hotpath
+func grow(xs []int, v val) {
+	_ = make([]int, 4)         // want `make allocates`
+	_ = new(int)               // want `new allocates`
+	global = append(global, 1) // want `append may grow`
+	p := &val{}                // want `&composite literal escapes`
+	_ = p
+	_ = []int{1, 2}      // want `slice literal allocates`
+	_ = map[string]int{} // want `map literal allocates`
+	f := func() {}       // want `function literal allocates`
+	f()
+	go f()         // want `go statement allocates`
+	defer f()      // want `defer allocates`
+	fmt.Println(1) // want `fmt.Println allocates`
+	var s sink
+	s = v // want `implicit conversion`
+	s.m()
+	take(v)           // want `implicit conversion`
+	b := []byte("hi") // want `conversion copies and allocates`
+	_ = string(b)     // want `conversion copies and allocates`
+}
+
+// cold is not annotated: identical constructs are fine here.
+func cold() []int {
+	out := make([]int, 8)
+	return append(out, 1)
+}
+
+// allowed demonstrates the escape hatch: a justified directive suppresses the
+// finding.
+//
+//oasis:hotpath
+func allowed(xs []int) []int {
+	//oasis:allow-alloc amortized growth of an arena reused across queries
+	xs = append(xs, 1)
+	return append(xs, 2) //oasis:allow-alloc trailing form works too
+}
+
+// bare shows that an allow directive without a reason is itself reported.
+//
+//oasis:hotpath
+func bare(xs []int) []int {
+	//oasis:allow-alloc
+	return append(xs, 1) // want `needs a reason`
+}

@@ -1,0 +1,13 @@
+// Package qcache is a miniature of the real internal/qcache for the cachekey
+// fixture: its NewKey misses core.Options.Extra, and the test config carries
+// a rotted exemption for a field that no longer exists.
+package qcache
+
+import "core"
+
+func NewKey(o core.Options) string { // want `core.Options.Extra is not consumed by NewKey` `exempt field Options.Vanished no longer exists`
+	if o.MinScore > 0 {
+		return o.Scheme + "+min"
+	}
+	return o.Scheme
+}

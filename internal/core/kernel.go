@@ -74,6 +74,8 @@ const negInf32 = int32(negInf)
 // reference kernel (Options.ReferenceKernel) for differential testing and
 // ablation: band-bound guards on every read, addScore sentinel guards on
 // every add, branchy bookkeeping.
+//
+//oasis:hotpath
 func sweepColumnRef(prev, cur []int32, prof, h []int32, width, sym, plo, phi, m int, gap, maxScore, minScore int32, full bool) colResult {
 	r := colResult{curLo: int32(m + 1), curHi: -1, colBest: negInf32, maxScore: maxScore, bestQEnd: -1}
 	if full {
@@ -128,6 +130,8 @@ func sweepColumnRef(prev, cur []int32, prof, h []int32, width, sym, plo, phi, m 
 
 // addScore32 adds a matrix/gap score to a cell value, keeping negInf
 // absorbing (reference kernel only; the fast kernel uses plain adds).
+//
+//oasis:hotpath
 func addScore32(v, delta int32) int32 {
 	if v <= negInf32 {
 		return negInf32

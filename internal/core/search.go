@@ -334,6 +334,8 @@ func newSearcher(idx Index, query []byte, opts Options) (*searcher, error) {
 }
 
 // queueTopF returns the highest queued f, or negInf when the queue is empty.
+//
+//oasis:hotpath
 func (s *searcher) queueTopF() int {
 	if s.useBuckets {
 		return s.bq.topF()
@@ -345,6 +347,8 @@ func (s *searcher) queueTopF() int {
 }
 
 // queuePop removes and returns the highest-priority entry, if any.
+//
+//oasis:hotpath
 func (s *searcher) queuePop() (heapEnt, bool) {
 	if s.useBuckets {
 		if s.bq.size == 0 {
@@ -382,13 +386,15 @@ func bandClass(width int) int {
 // allocBand returns a band buffer of the given width (in cells), reusing a
 // recycled slice of the same size class when available.  Band buffers are
 // arena-style: capacity is the class's power of two, length the live width.
+//
+//oasis:hotpath
 func (s *searcher) allocBand(width int) []int32 {
 	if width > s.stats.MaxBandWidth {
 		s.stats.MaxBandWidth = width
 	}
 	class := bandClass(width)
 	for len(s.freeBands) <= class {
-		s.freeBands = append(s.freeBands, nil)
+		s.freeBands = append(s.freeBands, nil) //oasis:allow-alloc free-list table growth, bounded by log2(max band width)
 	}
 	if n := len(s.freeBands[class]); n > 0 {
 		b := s.freeBands[class][n-1]
@@ -396,10 +402,12 @@ func (s *searcher) allocBand(width int) []int32 {
 		s.freeBands[class] = s.freeBands[class][:n-1]
 		return b[:width]
 	}
-	return make([]int32, width, 1<<class)
+	return make([]int32, width, 1<<class) //oasis:allow-alloc cold path: free list empty, arena warms up once per size class
 }
 
 // recycleBand returns a node's band buffer to its size-class free list.
+//
+//oasis:hotpath
 func (s *searcher) recycleBand(b []int32) {
 	if b == nil {
 		return
@@ -410,23 +418,27 @@ func (s *searcher) recycleBand(b []int32) {
 		return
 	}
 	for len(s.freeBands) <= class {
-		s.freeBands = append(s.freeBands, nil)
+		s.freeBands = append(s.freeBands, nil) //oasis:allow-alloc free-list table growth, bounded by log2(max band width)
 	}
 	if len(s.freeBands[class]) < 256 {
-		s.freeBands[class] = append(s.freeBands[class], b)
+		s.freeBands[class] = append(s.freeBands[class], b) //oasis:allow-alloc amortized free-list growth, capped at 256 entries
 	}
 }
 
 // releaseViable recycles a fully processed viable node: its band goes back to
 // the size-class free lists and its id to the store.
+//
+//oasis:hotpath
 func (s *searcher) releaseViable(id int32) {
 	ns := s.nodes
 	s.recycleBand(ns.band[id])
 	ns.band[id] = nil
-	ns.free = append(ns.free, id)
+	ns.free = append(ns.free, id) //oasis:allow-alloc amortized free-list growth
 }
 
 // recycleEnt recycles whichever store a popped entry references.
+//
+//oasis:hotpath
 func (s *searcher) recycleEnt(e heapEnt) {
 	if e.accepted() {
 		s.acc.release(e.id)

@@ -45,6 +45,8 @@ type nodeStore struct {
 
 // alloc returns a free viable-node id, growing the arrays when the free list
 // is empty.  The caller overwrites every field, so entries are not zeroed.
+//
+//oasis:hotpath
 func (ns *nodeStore) alloc() int32 {
 	if n := len(ns.free); n > 0 {
 		id := ns.free[n-1]
@@ -52,14 +54,15 @@ func (ns *nodeStore) alloc() int32 {
 		return id
 	}
 	id := int32(len(ns.ref))
+	//oasis:allow-alloc amortized arena growth; steady-state allocs come from the free list
 	ns.ref = append(ns.ref, 0)
-	ns.depth = append(ns.depth, 0)
-	ns.cLo = append(ns.cLo, 0)
-	ns.cHi = append(ns.cHi, 0)
-	ns.maxSc = append(ns.maxSc, 0)
-	ns.qEnd = append(ns.qEnd, 0)
-	ns.pDep = append(ns.pDep, 0)
-	ns.band = append(ns.band, nil)
+	ns.depth = append(ns.depth, 0) //oasis:allow-alloc amortized arena growth
+	ns.cLo = append(ns.cLo, 0)     //oasis:allow-alloc amortized arena growth
+	ns.cHi = append(ns.cHi, 0)     //oasis:allow-alloc amortized arena growth
+	ns.maxSc = append(ns.maxSc, 0) //oasis:allow-alloc amortized arena growth
+	ns.qEnd = append(ns.qEnd, 0)   //oasis:allow-alloc amortized arena growth
+	ns.pDep = append(ns.pDep, 0)   //oasis:allow-alloc amortized arena growth
+	ns.band = append(ns.band, nil) //oasis:allow-alloc amortized arena growth
 	return id
 }
 
@@ -92,6 +95,7 @@ type accStore struct {
 	free  []int32
 }
 
+//oasis:hotpath
 func (as *accStore) alloc() int32 {
 	if n := len(as.free); n > 0 {
 		id := as.free[n-1]
@@ -99,15 +103,16 @@ func (as *accStore) alloc() int32 {
 		return id
 	}
 	id := int32(len(as.ref))
-	as.ref = append(as.ref, 0)
-	as.score = append(as.score, 0)
-	as.qEnd = append(as.qEnd, 0)
-	as.pDep = append(as.pDep, 0)
+	as.ref = append(as.ref, 0)     //oasis:allow-alloc amortized arena growth
+	as.score = append(as.score, 0) //oasis:allow-alloc amortized arena growth
+	as.qEnd = append(as.qEnd, 0)   //oasis:allow-alloc amortized arena growth
+	as.pDep = append(as.pDep, 0)   //oasis:allow-alloc amortized arena growth
 	return id
 }
 
+//oasis:hotpath
 func (as *accStore) release(id int32) {
-	as.free = append(as.free, id)
+	as.free = append(as.free, id) //oasis:allow-alloc amortized free-list growth
 }
 
 func (as *accStore) reset() {
@@ -211,10 +216,11 @@ func (q *bucketQueue) init(base, fMax int) {
 	q.base = base
 }
 
+//oasis:hotpath
 func (q *bucketQueue) push(f int, accepted bool, id int32) {
 	off := f - q.base
 	e := int32(len(q.ents))
-	q.ents = append(q.ents, bucketEnt{id: id, next: -1})
+	q.ents = append(q.ents, bucketEnt{id: id, next: -1}) //oasis:allow-alloc amortized queue growth
 	ln := &q.lanes[off]
 	if accepted {
 		if ln.accTail < 0 {
@@ -239,6 +245,8 @@ func (q *bucketQueue) push(f int, accepted bool, id int32) {
 
 // topF returns the highest queued f (advancing the cursor), or negInf when
 // the queue is empty.
+//
+//oasis:hotpath
 func (q *bucketQueue) topF() int {
 	if q.size == 0 {
 		return negInf
@@ -252,6 +260,7 @@ func (q *bucketQueue) topF() int {
 	}
 }
 
+//oasis:hotpath
 func (q *bucketQueue) pop() (id int32, f int, accepted bool) {
 	f = q.topF()
 	ln := &q.lanes[q.top]
@@ -285,8 +294,9 @@ type nodeHeap struct {
 
 func (h *nodeHeap) Len() int { return len(h.items) }
 
+//oasis:hotpath
 func (h *nodeHeap) push(e heapEnt) {
-	h.items = append(h.items, e)
+	h.items = append(h.items, e) //oasis:allow-alloc amortized heap growth
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -299,6 +309,7 @@ func (h *nodeHeap) push(e heapEnt) {
 	}
 }
 
+//oasis:hotpath
 func (h *nodeHeap) pop() heapEnt {
 	top := h.items[0]
 	last := len(h.items) - 1

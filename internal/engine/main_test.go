@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: a warm engine's
+// worker pools, compaction loops, and watchers must all stop with Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,96 @@
+// Package leakcheck fails a test binary whose tests leave goroutines behind —
+// a hand-rolled equivalent of go.uber.org/goleak on the standard library
+// only.  Wire it in with one line:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the package's tests pass, the checker snapshots all goroutine stacks
+// and retries for a grace period while shutdown-in-progress goroutines drain;
+// anything still running that is not a known-safe runtime, testing, or
+// standard-library background goroutine fails the binary with the full stack.
+// Leaked goroutines in serving code are how "passing" tests hide unclosed
+// engines, servers, and watchers that would pile up in a long-lived process.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main runs the package's tests, then fails the binary if goroutines leaked.
+// The leak check is skipped when the tests already failed (the leak is rarely
+// the root cause) and under -short (fast edit loops).
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 && !testing.Short() {
+		if leaked := settle(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running after all tests passed:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls for offenders until none remain or the deadline passes,
+// giving goroutines that are already shutting down time to drain.
+func settle(deadline time.Duration) []string {
+	var leaked []string
+	start := time.Now()
+	for {
+		leaked = offenders()
+		if len(leaked) == 0 || time.Since(start) > deadline {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// offenders returns the stacks of all goroutines that are neither this one
+// nor known-safe background machinery.
+func offenders() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g != "" && !ignorable(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ignorable reports whether a goroutine stack belongs to the test harness or
+// standard-library background machinery that outlives tests by design.
+func ignorable(stack string) bool {
+	for _, safe := range []string{
+		// The main goroutine running this very check.
+		"repro/internal/leakcheck.Main",
+		"testing.(*M).Run",
+		// Runtime background workers that show up in all-goroutine dumps.
+		"runtime.forcegchelper",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.runfinq",
+		"runtime.gcenable",
+		// signal.Notify's dispatcher lives for the process.
+		"os/signal.signal_recv",
+		"os/signal.loop",
+	} {
+		if strings.Contains(stack, safe) {
+			return true
+		}
+	}
+	return false
+}

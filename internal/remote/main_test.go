@@ -1,0 +1,12 @@
+package remote
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: coordinator
+// fan-out workers, hedged requests, and streaming decoders must all unwind
+// when a search completes, degrades, or is cancelled.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -356,6 +356,43 @@ func TestFailoverMidStream(t *testing.T) {
 	}
 }
 
+// TestDialFaultFailsOver fails replica A's dial outright (the remote.dial
+// faultpoint — a dead or unreachable replica at connect time, before any
+// event flows) and verifies the query completes from replica B with the exact
+// baseline stream and a recorded failure against replica A.  Regression test
+// for the faultsite analyzer finding that remote.dial was a registered but
+// never-exercised failpoint.
+func TestDialFaultFailsOver(t *testing.T) {
+	fx, baseline, query, opts := faultFixture(t, 41)
+	want, _, err := collect(baseline, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := openCoordinator(t, fastConfig([][]string{fx.urls}))
+
+	defer faultpoint.Reset()
+	faultpoint.Enable(faultpoint.SiteRemoteDial, faultpoint.Spec{
+		Mode: faultpoint.ModeError, Match: fx.urls[0],
+	})
+	got, st, err := collect(co.Engine(), query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultpoint.Fired(faultpoint.SiteRemoteDial) < 1 {
+		t.Fatal("dial fault did not fire")
+	}
+	if st.Degraded {
+		t.Fatal("a single dead replica must fail over, not degrade")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream after dial fault differs\n got: %+v\nwant: %+v", got, want)
+	}
+	health := co.Health()[0].Replicas
+	if health[0].TotalFailures < 1 {
+		t.Fatalf("replica A should have a recorded dial failure, got %+v", health[0])
+	}
+}
+
 // TestCorruptWireFailsOver flips a bit in an event line (remote.stream
 // corrupt mode); the decoder rejects the line, the attempt fails, and the
 // stream still completes identically from the other replica.

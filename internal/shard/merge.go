@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -117,12 +116,14 @@ func (d *dedupSet) acquire(n int) {
 
 // markNew records a sequence's first emission, reporting false when the
 // sequence was already emitted.
+//
+//oasis:hotpath
 func (d *dedupSet) markNew(seqIndex int) bool {
 	if d.seen[seqIndex] {
 		return false
 	}
 	d.seen[seqIndex] = true
-	d.touched = append(d.touched, seqIndex)
+	d.touched = append(d.touched, seqIndex) //oasis:allow-alloc amortized touched-list growth, reset reuses capacity
 	return true
 }
 
@@ -145,7 +146,7 @@ func (m *merger) run(events <-chan event, cancelled *atomic.Bool) error {
 				m.bounds[ev.shard] = ev.hit.Score
 			}
 			if !stopped {
-				heap.Push(&m.pending, shardHit{Hit: ev.hit, shard: ev.shard})
+				m.pending.push(shardHit{Hit: ev.hit, shard: ev.shard})
 			}
 		case evDone:
 			m.done[ev.shard] = true
@@ -206,21 +207,23 @@ func (m *merger) purgeShard(shard int) {
 		}
 	}
 	m.pending.hits = kept
-	heap.Init(&m.pending)
+	m.pending.reInit()
 }
 
 // emitReady releases every pending hit whose score is strictly above the
 // bound of every unfinished shard (so no equal-or-stronger hit can still
 // arrive).  It returns false when the consumer stopped the stream.
+//
+//oasis:hotpath
 func (m *merger) emitReady() bool {
-	for m.pending.Len() > 0 {
+	for len(m.pending.hits) > 0 {
 		top := m.pending.hits[0]
 		for s := range m.bounds {
 			if !m.done[s] && m.bounds[s] >= top.Score {
 				return true // an equal or stronger hit may still arrive; wait
 			}
 		}
-		h := heap.Pop(&m.pending).(shardHit).Hit
+		h := m.pending.pop().Hit
 		if m.drop != nil && m.drop(h.SeqIndex) {
 			continue // tombstoned: the sequence was deleted
 		}
@@ -291,12 +294,16 @@ type shardHit struct {
 // work stealing the producing shard is a timing artifact (steal.go).  The
 // survivor is then determined by the copy SET in the heap; the set itself can
 // still vary with stealing — see steal.go for the exact guarantee).
+//
+// It is a hand-rolled binary heap rather than container/heap because the
+// standard interface moves every element through `any`, boxing one shardHit
+// (a ~9-word struct) per buffered hit on the serving path; the concrete
+// methods keep the pending buffer allocation-free at steady state.
 type hitQueue struct {
 	hits []shardHit
 }
 
-func (q *hitQueue) Len() int { return len(q.hits) }
-func (q *hitQueue) Less(i, j int) bool {
+func (q *hitQueue) less(i, j int) bool {
 	if q.hits[i].Score != q.hits[j].Score {
 		return q.hits[i].Score > q.hits[j].Score
 	}
@@ -311,12 +318,55 @@ func (q *hitQueue) Less(i, j int) bool {
 	}
 	return q.hits[i].shard < q.hits[j].shard
 }
-func (q *hitQueue) Swap(i, j int) { q.hits[i], q.hits[j] = q.hits[j], q.hits[i] }
-func (q *hitQueue) Push(x any)    { q.hits = append(q.hits, x.(shardHit)) }
-func (q *hitQueue) Pop() any {
-	old := q.hits
-	n := len(old)
-	h := old[n-1]
-	q.hits = old[:n-1]
-	return h
+
+//oasis:hotpath
+func (q *hitQueue) push(h shardHit) {
+	q.hits = append(q.hits, h) //oasis:allow-alloc amortized pending-buffer growth
+	i := len(q.hits) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.hits[i], q.hits[parent] = q.hits[parent], q.hits[i]
+		i = parent
+	}
+}
+
+//oasis:hotpath
+func (q *hitQueue) pop() shardHit {
+	top := q.hits[0]
+	last := len(q.hits) - 1
+	q.hits[0] = q.hits[last]
+	q.hits[last] = shardHit{} // drop the SeqID reference held by the vacated slot
+	q.hits = q.hits[:last]
+	q.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below i.
+func (q *hitQueue) siftDown(i int) {
+	n := len(q.hits)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && q.less(right, left) {
+			best = right
+		}
+		if !q.less(best, i) {
+			return
+		}
+		q.hits[i], q.hits[best] = q.hits[best], q.hits[i]
+		i = best
+	}
+}
+
+// reInit re-heapifies after purgeShard rewrote the backing slice in place.
+func (q *hitQueue) reInit() {
+	for i := len(q.hits)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }

@@ -253,7 +253,7 @@ type BatchResult struct {
 // ctx stops all in-flight searches; consumers should drain the channel.
 func (e *Engine) SubmitBatch(ctx context.Context, queries []BatchQuery) <-chan BatchResult {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //oasis:allow-ctx nil-ctx tolerance for public API callers; any non-nil ctx is threaded through unchanged
 	}
 	in := make([]engine.Query, len(queries))
 	for i, q := range queries {
